@@ -1,0 +1,60 @@
+"""Ablation — naive vs semi-naive datalog saturation.
+
+DESIGN.md calls out the evaluation-strategy choice; this benchmark
+quantifies it on transitive closure over random graphs: semi-naive
+joins only through the delta, naive re-derives everything every round.
+The *shape* to expect: the gap widens with the closure's round count.
+"""
+
+import pytest
+
+from repro.chase import datalog_saturate, seminaive_saturate
+from repro.zoo import chain_structure, random_edges_database, transitive_theory
+
+THEORY = transitive_theory()
+
+
+@pytest.mark.parametrize("size,edges", [(20, 40), (40, 80)])
+def test_naive(benchmark, size, edges):
+    database = random_edges_database(size, edges, seed=42)
+
+    def run():
+        return datalog_saturate(database, THEORY).structure
+
+    result = benchmark(run)
+    benchmark.extra_info["strategy"] = "naive"
+    benchmark.extra_info["output_facts"] = len(result)
+
+
+@pytest.mark.parametrize("size,edges", [(20, 40), (40, 80)])
+def test_seminaive(benchmark, size, edges):
+    database = random_edges_database(size, edges, seed=42)
+
+    def run():
+        return seminaive_saturate(database, THEORY)
+
+    result = benchmark(run)
+    benchmark.extra_info["strategy"] = "seminaive"
+    benchmark.extra_info["output_facts"] = len(result)
+
+
+def test_agreement_on_the_bench_inputs():
+    """Not a timing: the two strategies agree on every bench input."""
+    for size, edges in [(20, 40), (40, 80)]:
+        database = random_edges_database(size, edges, seed=42)
+        assert datalog_saturate(database, THEORY).structure.same_facts(
+            seminaive_saturate(database, THEORY)
+        )
+
+
+@pytest.mark.parametrize("length", [30, 60])
+def test_seminaive_long_chain(benchmark, length):
+    """Chains maximise the round count — semi-naive's best case."""
+    database = chain_structure(length, constants=True)
+
+    def run():
+        return seminaive_saturate(database, THEORY)
+
+    result = benchmark(run)
+    benchmark.extra_info["closure_facts"] = len(result)
+    assert len(result) == length * (length + 1) // 2

@@ -1,0 +1,50 @@
+"""E02 — Example 2: positive 2-types agree, positive 3-types differ.
+
+The chase chain and its triangle image are compared at a mid-chain
+element: ``ptp_2`` equal, ``ptp_3`` separated by the 3-cycle query.
+Measured: the type-comparison time and the generator counts.
+"""
+
+from repro.lf import Null, Structure, atom
+from repro.ptypes import type_queries, types_equal
+
+
+def _structures():
+    n = [Null(i) for i in range(20)]
+    chain = Structure(atom("E", n[i], n[i + 1]) for i in range(9))
+    t = [Null(100), Null(101), Null(102)]
+    triangle = Structure(
+        [atom("E", t[0], t[1]), atom("E", t[1], t[2]), atom("E", t[2], t[0])]
+    )
+    return chain, n[4], triangle, t[1]
+
+
+def test_ptp2_agreement(benchmark):
+    chain, chain_element, triangle, triangle_element = _structures()
+
+    def run():
+        return types_equal(chain, chain_element, triangle, triangle_element, 2)
+
+    verdict = benchmark(run)
+    benchmark.extra_info["generators_chain"] = len(type_queries(chain, chain_element, 2))
+    benchmark.extra_info["generators_triangle"] = len(
+        type_queries(triangle, triangle_element, 2)
+    )
+    assert verdict is True
+
+
+def test_ptp3_separation(benchmark):
+    chain, chain_element, triangle, triangle_element = _structures()
+
+    def run():
+        return types_equal(chain, chain_element, triangle, triangle_element, 3)
+
+    verdict = benchmark(run)
+    # the separating query is the 3-cycle E(y,x1) ∧ E(x1,x2) ∧ E(x2,y)
+    cycle_queries = [
+        q for q in type_queries(triangle, triangle_element, 3)
+        if len([a for a in q.atoms if not a.is_equality]) >= 3
+    ]
+    benchmark.extra_info["separating_candidates"] = len(cycle_queries)
+    assert verdict is False
+    assert cycle_queries

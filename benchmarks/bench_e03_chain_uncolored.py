@@ -1,0 +1,49 @@
+"""E03 — Example 3: quotienting an uncolored chain creates a loop.
+
+``M_n`` of the bare chain identifies all sufficiently generic elements,
+producing the reflexive edge that enlarges the 1-type of the merged
+class — exactly the type damage Example 3 exhibits.
+
+Measured: quotient time on chains, plus the class-count profile.
+"""
+
+import pytest
+
+from repro.lf import Null, Structure, atom
+from repro.ptypes import TypePartition, quotient
+
+
+def chain(length):
+    n = [Null(i) for i in range(length + 1)]
+    return Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+
+
+@pytest.mark.parametrize("length", [10, 20, 40])
+def test_uncolored_quotient_has_loop(benchmark, length):
+    structure = chain(length)
+
+    def run():
+        return quotient(structure, 3)
+
+    quotiented = benchmark(run)
+    loops = [
+        f for f in quotiented.structure.facts_with_pred("E")
+        if f.args[0] == f.args[1]
+    ]
+    benchmark.extra_info["chain_length"] = length
+    benchmark.extra_info["quotient_size"] = quotiented.size
+    benchmark.extra_info["loops"] = len(loops)
+    assert len(loops) == 1
+    assert quotiented.size <= 7  # 2(n-1) boundary classes + 1 bulk class
+
+
+def test_class_profile_by_n(benchmark):
+    structure = chain(30)
+
+    def run():
+        return [len(TypePartition(structure, n).classes()) for n in (1, 2, 3, 4)]
+
+    profile = benchmark(run)
+    benchmark.extra_info["classes_by_n"] = dict(zip((1, 2, 3, 4), profile))
+    # 1 class at n=1; 2 new boundary classes per increment after
+    assert profile == [1, 3, 5, 7]

@@ -1,0 +1,52 @@
+"""E04 — Example 4: the colored chain, in all three regimes.
+
+With m+1 cyclic colors the quotient preserves positive m-types;
+one size up (m+1) the projected (m+1)-cycle is visible; and with
+n < m the projection is too coarse from the start.
+
+Measured: conservativity-check time per regime.
+"""
+
+from repro.coloring import conservativity_report, cyclic_coloring
+from repro.lf import Null, Structure, atom
+
+
+def colored_chain(length, palette):
+    n = [Null(i) for i in range(length + 1)]
+    structure = Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+    return cyclic_coloring(structure, palette)
+
+
+def test_conservative_up_to_m(benchmark):
+    colored = colored_chain(25, 3)
+
+    def run():
+        return conservativity_report(colored, n=4, m=2)
+
+    report = benchmark(run)
+    benchmark.extra_info["quotient_size"] = report.quotient.size
+    assert report.conservative
+
+
+def test_fails_at_m_plus_one(benchmark):
+    colored = colored_chain(25, 3)
+
+    def run():
+        return conservativity_report(colored, n=6, m=3)
+
+    report = benchmark(run)
+    benchmark.extra_info["witness"] = str(report.witness_query)
+    assert not report.conservative
+    # the witness is the (m+1)-cycle created by the projection
+    assert len([a for a in report.witness_query.atoms if not a.is_equality]) >= 3
+
+
+def test_fails_when_n_below_m(benchmark):
+    colored = colored_chain(25, 3)
+
+    def run():
+        return conservativity_report(colored, n=1, m=2)
+
+    report = benchmark(run)
+    benchmark.extra_info["witness"] = str(report.witness_query)
+    assert not report.conservative

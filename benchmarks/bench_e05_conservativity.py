@@ -1,0 +1,57 @@
+"""E05 — Examples 5 & 6: who is ptp-conservative and who is not.
+
+The chain always admits a conservative natural coloring (Example 5 /
+the Main Lemma for its simplest VTDAG); the total order defeats every
+bounded palette (Example 6), with the tell-tale ``E(y, y)`` witness.
+
+Measured: the conservativity search on the chain, and the failure
+detection on orders of growing length.
+"""
+
+import pytest
+
+from repro.coloring import conservativity_report, cyclic_coloring, find_conservative
+from repro.lf import Null, Structure, atom
+
+
+def chain(length):
+    n = [Null(i) for i in range(length + 1)]
+    return Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+
+
+def total_order(size):
+    n = [Null(i) for i in range(size)]
+    return Structure(
+        atom("E", n[i], n[j]) for i in range(size) for j in range(i + 1, size)
+    )
+
+
+@pytest.mark.parametrize("m", [1, 2])
+def test_chain_conservative_search(benchmark, m):
+    structure = chain(20)
+
+    def run():
+        return find_conservative(structure, m)
+
+    witness = benchmark(run)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["n_found"] = witness.n
+    benchmark.extra_info["palette"] = witness.colored.palette_size
+    benchmark.extra_info["quotient_size"] = witness.quotient.size
+    assert witness.quotient.size < structure.domain_size
+
+
+@pytest.mark.parametrize("palette", [2, 3])
+def test_order_defeats_bounded_palette(benchmark, palette):
+    order = total_order(4 * palette)
+    colored = cyclic_coloring(order, palette)
+
+    def run():
+        return conservativity_report(colored, n=2, m=1)
+
+    report = benchmark(run)
+    benchmark.extra_info["palette"] = palette
+    benchmark.extra_info["order_size"] = 4 * palette
+    benchmark.extra_info["witness"] = str(report.witness_query)
+    assert not report.conservative
+    assert "E(y, y)" in str(report.witness_query)

@@ -1,0 +1,42 @@
+"""E06 — Remark 3: separating (♠2) from (♠3).
+
+On the loop-plus-order structure every Boolean sentence of the quotient
+already holds in the source (the loop absorbs them: (♠3) holds), yet
+per-element type preservation fails ((♠2) broken): the distinction
+Remark 3 insists on.
+
+Measured: both checks on the same quotient.
+"""
+
+from repro.coloring import conservativity_report, cyclic_coloring, spade3_holds
+from repro.lf import Null, Structure, atom
+
+
+def loop_and_order():
+    n = [Null(i) for i in range(40)]
+    facts = [atom("E", n[30], n[30])]
+    facts += [atom("E", n[i], n[j]) for i in range(12) for j in range(i + 1, 12)]
+    return Structure(facts)
+
+
+def test_spade3_holds(benchmark):
+    colored = cyclic_coloring(loop_and_order(), 3)
+
+    def run():
+        return spade3_holds(colored, n=2, m=2)
+
+    verdict, counterexample = benchmark(run)
+    benchmark.extra_info["counterexample"] = str(counterexample)
+    assert verdict
+
+
+def test_spade2_fails(benchmark):
+    colored = cyclic_coloring(loop_and_order(), 3)
+
+    def run():
+        return conservativity_report(colored, n=2, m=2)
+
+    report = benchmark(run)
+    benchmark.extra_info["witness_element"] = str(report.witness_element)
+    benchmark.extra_info["witness_query"] = str(report.witness_query)
+    assert not report.conservative

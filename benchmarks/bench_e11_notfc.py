@@ -1,0 +1,76 @@
+"""E11 — Section 5.5: the non-FC theory that defines no ordering.
+
+Three measured claims:
+
+* the chase avoids Φ = E(x,y) ∧ R(y,y) (at every truncation we run);
+* *every* finite model with ≤ N elements satisfies Φ — proved by
+  exhaustive search, for growing N;
+* the ordering detector finds nothing here, yet instantly finds the
+  ordering in successor+transitivity (the contrast pair).
+"""
+
+import pytest
+
+from repro.chase import certain_boolean
+from repro.fc import every_finite_model_satisfies, find_ordering
+from repro.lf import parse_structure
+from repro.zoo import (
+    remark3_theory,
+    section55_database,
+    section55_query,
+    section55_theory,
+)
+
+
+def test_chase_avoids_phi(benchmark):
+    theory, database = section55_theory(), section55_database()
+    phi = section55_query().boolean()
+
+    def run():
+        return certain_boolean(database, theory, phi, max_depth=10)
+
+    verdict = benchmark(run)
+    benchmark.extra_info["verdict"] = str(verdict)
+    assert verdict is not True
+
+
+@pytest.mark.parametrize("max_elements", [4, 5, 6])
+def test_every_finite_model_satisfies_phi(benchmark, max_elements):
+    theory, database = section55_theory(), section55_database()
+    phi = section55_query().boolean()
+
+    def run():
+        return every_finite_model_satisfies(
+            database, theory, phi, max_elements=max_elements, max_nodes=100_000
+        )
+
+    verdict, stats = benchmark(run)
+    benchmark.extra_info["max_elements"] = max_elements
+    benchmark.extra_info["states_explored"] = stats.nodes
+    benchmark.extra_info["exhausted"] = stats.exhausted
+    assert verdict
+    assert stats.exhausted
+
+
+def test_no_ordering_here(benchmark):
+    theory, database = section55_theory(), section55_database()
+
+    def run():
+        return find_ordering(theory, database, min_size=5)
+
+    witness = benchmark(run)
+    benchmark.extra_info["found"] = str(witness)
+    assert witness is None
+
+
+def test_ordering_in_natural_example(benchmark):
+    theory = remark3_theory()
+    database = parse_structure("E(a,b)")
+
+    def run():
+        return find_ordering(theory, database, min_size=5)
+
+    witness = benchmark(run)
+    benchmark.extra_info["query"] = str(witness.query)
+    benchmark.extra_info["chain"] = witness.size
+    assert witness is not None and witness.size >= 5

@@ -1,0 +1,89 @@
+"""E13 — Sections 5.1–5.3: the transformation battery.
+
+Each transformation is timed and checked to preserve certain answers on
+its reference example: frontier-1 head splitting (§5.1), the ternary
+reduction (§5.2), and the multi-head ↔ single-head / binary-atom
+encodings (§5.3).
+"""
+
+from repro.chase import certain_boolean, chase
+from repro.lf import Rule, Variable, atom, parse_query, parse_structure, parse_theory
+from repro.lf.rules import Theory
+from repro.transforms import (
+    atoms_to_binary_encoding,
+    decode_structure_binary,
+    encode_structure_binary,
+    multihead_to_singlehead,
+    split_frontier_one_heads,
+    ternary_reduction,
+)
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def test_frontier_one_split(benchmark):
+    theory = Theory([Rule((atom("U", y),), (atom("T", y, z, w),))])
+    database = parse_structure("U(a)")
+    query = parse_query("T('a', v, u)")
+
+    def run():
+        return split_frontier_one_heads(theory)
+
+    converted = benchmark(run)
+    benchmark.extra_info["rules_before"] = len(theory)
+    benchmark.extra_info["rules_after"] = len(converted)
+    assert certain_boolean(database, converted, query, max_depth=4) is True
+
+
+def test_ternary_reduction_roundtrip(benchmark):
+    theory = parse_theory("P(x,y,z,x) -> exists t. R(x,y,z,t)")
+    database = parse_structure("P(a,b,c,a)")
+    query = parse_query("R('a','b','c',t)")
+
+    def run():
+        reduction = ternary_reduction(theory)
+        translated_db = reduction.translate_database(database)
+        translated_query = reduction.translate_query(query)
+        return reduction, translated_db, translated_query
+
+    reduction, translated_db, translated_query = benchmark(run)
+    benchmark.extra_info["max_arity_after"] = reduction.theory.signature.max_arity
+    assert (
+        certain_boolean(translated_db, reduction.theory, translated_query, max_depth=6)
+        is True
+    )
+
+
+def test_multihead_join_encoding(benchmark):
+    theory = Theory([Rule((atom("U", x),), (atom("R", x, z), atom("S", z, x)))])
+    database = parse_structure("U(a)")
+    query = parse_query("R('a', v), S(v, 'a')")
+
+    def run():
+        return multihead_to_singlehead(theory)
+
+    converted = benchmark(run)
+    benchmark.extra_info["rules_after"] = len(converted)
+    assert converted.is_single_head
+    assert certain_boolean(database, converted, query, max_depth=4) is True
+
+
+def test_binary_atom_encoding_roundtrip(benchmark):
+    theory = parse_theory("P(x,y,z) -> exists w. P(y,z,w)")
+    database = parse_structure("P(a,b,c)")
+
+    def run():
+        encoded_theory = atoms_to_binary_encoding(theory)
+        encoded_db = encode_structure_binary(database)
+        result = chase(encoded_db, encoded_theory, max_depth=2)
+        return decode_structure_binary(result.structure, database.signature)
+
+    decoded = benchmark(run)
+    original = chase(database, theory, max_depth=2)
+    benchmark.extra_info["original_p_atoms"] = len(
+        original.structure.facts_with_pred("P")
+    )
+    benchmark.extra_info["decoded_p_atoms"] = len(decoded.facts_with_pred("P"))
+    assert len(decoded.facts_with_pred("P")) == len(
+        original.structure.facts_with_pred("P")
+    )

@@ -1,0 +1,99 @@
+"""E14 — Section 5.4: why M_n is too poor to be a model beyond binary.
+
+The quaternary theory
+
+    R(x, x', y, z) ⇒ E(y, z)
+    E(x, y), E(t, y) ⇒ ∃z R(x, t, y, z)
+
+is BDD, and its chase of ``{E(a,b)}`` is a simple E-chain with
+``R(x, x, y, z)`` for consecutive elements.  But *fold the chain into a
+cycle* (the quotient-style identification every finite-model attempt
+must make) and a fresh body match ``E(x,y), E(t,y)`` with ``x ≠ t``
+appears at the wrap point; its witness is a function of the whole tuple,
+cannot be reused — and the fresh witness spawns a whole new E-chain.
+
+The contrast: the binary Example 7 theory under the *same* fold merely
+derives new R-*atoms* (Lemma 5: no new elements).
+
+Measured: divergence (new elements per depth) of the folded quaternary
+chase vs saturation of the folded binary chase.
+"""
+
+from repro.chase import ChaseConfig, chase, chase_with_embargo
+from repro.errors import NewElementEmbargoViolation
+from repro.lf import Null, Structure
+from repro.zoo import (
+    example7_database,
+    example7_theory,
+    section54_database,
+    section54_theory,
+)
+
+
+def _chain_order(structure):
+    """The chase chain in creation order: constants first, then nulls."""
+    constants = sorted(structure.constant_elements(), key=str)
+    nulls = sorted(
+        (e for e in structure.domain() if isinstance(e, Null)),
+        key=lambda e: e.ident,
+    )
+    return constants + nulls
+
+
+def _fold(structure, start, period):
+    """Fold the tail of the chain back onto a cycle of the given period."""
+    order = _chain_order(structure)
+    mapping = {}
+    for position, element in enumerate(order):
+        if position < start + period:
+            mapping[element] = element
+        else:
+            wrapped = start + ((position - start) % period)
+            mapping[element] = order[wrapped]
+    folded = Structure(signature=structure.signature)
+    for fact in structure.facts():
+        folded.add_fact(fact.substitute(mapping))
+    return folded
+
+
+def test_quaternary_fold_diverges(benchmark):
+    theory, database = section54_theory(), section54_database()
+    chased = chase(database, theory, ChaseConfig(max_depth=10))
+    folded = _fold(chased.structure, start=2, period=4)
+
+    # Lemma 5 fails here: the wrap point demands a fresh witness.
+    try:
+        chase_with_embargo(folded, theory, max_depth=10)
+        embargo_violated = False
+    except NewElementEmbargoViolation:
+        embargo_violated = True
+    assert embargo_violated
+
+    def run():
+        return chase(folded, theory, ChaseConfig(max_depth=8))
+
+    regrown = benchmark(run)
+    benchmark.extra_info["new_elements_after_fold"] = len(regrown.new_elements)
+    benchmark.extra_info["saturated"] = regrown.saturated
+    # the fresh witness spawns a new chain: growth, not saturation
+    assert len(regrown.new_elements) >= 4
+    assert not regrown.saturated
+
+
+def test_binary_fold_saturates(benchmark):
+    theory, database = example7_theory(), example7_database()
+    chased = chase(database, theory, ChaseConfig(max_depth=10))
+    folded = _fold(chased.structure, start=2, period=4)
+
+    def run():
+        return chase_with_embargo(folded, theory, max_depth=None)
+
+    result = benchmark(run)
+    new_r = result.structure.facts_with_pred("R") - chased.structure.facts_with_pred("R")
+    benchmark.extra_info["new_r_atoms"] = len(new_r)
+    benchmark.extra_info["new_elements"] = len(result.new_elements)
+    assert result.saturated
+    assert not result.new_elements
+    # the fold creates confluences, so new R-atoms are derived — but
+    # only atoms, never elements (the binary Lemma 5 discipline)
+    assert new_r

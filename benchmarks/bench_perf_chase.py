@@ -1,0 +1,38 @@
+"""P01 — chase throughput: facts per second vs database size.
+
+Transitive closure over random graphs (datalog, saturating) and the
+growing linear chase (existential, truncated).
+"""
+
+import pytest
+
+from repro.chase import ChaseConfig, chase
+from repro.zoo import chain_growth_theory, random_edges_database, transitive_theory
+
+
+@pytest.mark.parametrize("size,edges", [(20, 40), (40, 80), (60, 120)])
+def test_transitive_closure_scaling(benchmark, size, edges):
+    theory = transitive_theory()
+    database = random_edges_database(size, edges, seed=42)
+
+    def run():
+        return chase(database, theory, ChaseConfig(max_depth=None, max_facts=500_000))
+
+    result = benchmark(run)
+    benchmark.extra_info["input_edges"] = edges
+    benchmark.extra_info["output_facts"] = len(result.structure)
+    assert result.saturated
+
+
+@pytest.mark.parametrize("depth", [10, 20, 40])
+def test_linear_growth_scaling(benchmark, depth):
+    theory = chain_growth_theory(3)
+    database = random_edges_database(4, 6, predicates=("P0",), seed=7)
+
+    def run():
+        return chase(database, theory, ChaseConfig(max_depth=depth))
+
+    result = benchmark(run)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["elements"] = result.structure.domain_size
+    assert result.depth == depth

@@ -1,0 +1,53 @@
+"""P04 — homomorphism-search scaling: query evaluation on grids.
+
+Path queries of growing length over grids of growing size — the
+index-driven backtracking matcher's bread and butter.
+"""
+
+import pytest
+
+from repro.lf import Variable, atom, cq, satisfies
+from repro.zoo import grid_structure
+
+
+def path_query(length, pred="H"):
+    variables = [Variable(f"v{i}") for i in range(length + 1)]
+    return cq([atom(pred, u, v) for u, v in zip(variables, variables[1:])])
+
+
+@pytest.mark.parametrize("side", [5, 10, 15])
+def test_grid_scaling(benchmark, side):
+    grid = grid_structure(side, side)
+    query = path_query(side - 1)
+
+    def run():
+        return satisfies(grid, query)
+
+    verdict = benchmark(run)
+    benchmark.extra_info["grid_elements"] = grid.domain_size
+    assert verdict
+
+
+@pytest.mark.parametrize("length", [4, 8, 12])
+def test_query_length_scaling(benchmark, length):
+    grid = grid_structure(4, 16)
+    query = path_query(length)
+
+    def run():
+        return satisfies(grid, query)
+
+    verdict = benchmark(run)
+    benchmark.extra_info["query_atoms"] = length
+    assert verdict
+
+
+def test_mixed_direction_query(benchmark):
+    grid = grid_structure(8, 8)
+    x, y, z, w = (Variable(n) for n in "xyzw")
+    # an L-shaped join: right, down, right
+    query = cq([atom("H", x, y), atom("V", y, z), atom("H", z, w)])
+
+    def run():
+        return satisfies(grid, query)
+
+    assert benchmark(run)

@@ -1,0 +1,91 @@
+"""P05 — pipeline stage costs on Example 7.
+
+A breakdown of the Theorem-2 construction: chase + skeleton, coloring,
+partition + quotient, conservativity, and saturation, each timed on the
+same inputs so the stage shares are comparable.
+"""
+
+from repro.chase import ChaseConfig, chase, chase_with_embargo
+from repro.coloring import conservativity_report, natural_coloring
+from repro.core.normalize import prepare
+from repro.lf import Null, parse_query
+from repro.ptypes import TypePartition, quotient
+from repro.skeleton import skeleton_of_chase
+from repro.zoo import example7_database, example7_theory
+
+DEPTH = 14
+CUTOFF = 10
+ETA = 3
+
+
+def _prepared():
+    theory, database = example7_theory(), example7_database()
+    prepared = prepare(theory, parse_query("R(x,u), P(u,w)"))
+    return prepared.theory, database
+
+
+def _chased(theory, database):
+    return chase(database, theory, ChaseConfig(max_depth=DEPTH))
+
+
+def test_stage_chase_and_skeleton(benchmark):
+    theory, database = _prepared()
+
+    def run():
+        chased = _chased(theory, database)
+        return skeleton_of_chase(chased, database, theory)
+
+    skel = benchmark(run)
+    benchmark.extra_info["skeleton_elements"] = skel.structure.domain_size
+
+
+def test_stage_coloring(benchmark):
+    theory, database = _prepared()
+    skel = skeleton_of_chase(_chased(theory, database), database, theory)
+
+    def run():
+        return natural_coloring(skel.structure, ETA)
+
+    colored = benchmark(run)
+    benchmark.extra_info["palette"] = colored.palette_size
+
+
+def test_stage_quotient(benchmark):
+    theory, database = _prepared()
+    skel = skeleton_of_chase(_chased(theory, database), database, theory)
+    colored = natural_coloring(skel.structure, ETA)
+    interior = {
+        e for e in skel.structure.domain()
+        if not isinstance(e, Null) or e.level <= CUTOFF
+    }
+
+    def run():
+        partition = TypePartition(colored.structure, ETA, elements=interior)
+        return quotient(colored.structure, ETA, partition=partition)
+
+    quotiented = benchmark(run)
+    benchmark.extra_info["interior"] = len(interior)
+    benchmark.extra_info["quotient_size"] = quotiented.size
+
+
+def test_stage_conservativity_and_saturation(benchmark):
+    theory, database = _prepared()
+    skel = skeleton_of_chase(_chased(theory, database), database, theory)
+    colored = natural_coloring(skel.structure, ETA)
+    interior = {
+        e for e in skel.structure.domain()
+        if not isinstance(e, Null) or e.level <= CUTOFF
+    }
+    partition = TypePartition(colored.structure, ETA, elements=interior)
+    quotiented = quotient(colored.structure, ETA, partition=partition)
+
+    def run():
+        report = conservativity_report(colored, ETA, ETA, prebuilt=quotiented)
+        stripped = quotiented.structure.restrict_signature(colored.base_relations)
+        saturated = chase_with_embargo(stripped, theory)
+        return report, saturated
+
+    report, saturated = benchmark(run)
+    benchmark.extra_info["conservative"] = report.conservative
+    benchmark.extra_info["model_facts"] = len(saturated.structure)
+    assert saturated.saturated

@@ -1,0 +1,49 @@
+"""P02 — positive-type machinery scaling: ``≡_n`` in |C| and n.
+
+Partitioning chains and trees; the canonical-subquery reduction with
+connected-subset enumeration should stay polynomial on these shapes.
+"""
+
+import pytest
+
+from repro.ptypes import TypePartition, quotient
+from repro.zoo import binary_tree_structure, chain_structure
+
+
+@pytest.mark.parametrize("length", [25, 50, 100])
+def test_partition_scaling_in_size(benchmark, length):
+    structure = chain_structure(length)
+
+    def run():
+        return TypePartition(structure, 3).classes()
+
+    classes = benchmark(run)
+    benchmark.extra_info["length"] = length
+    benchmark.extra_info["classes"] = len(classes)
+    assert len(classes) == 5  # boundary effects only
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_partition_scaling_in_n(benchmark, n):
+    structure = chain_structure(40)
+
+    def run():
+        return TypePartition(structure, n).classes()
+
+    classes = benchmark(run)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["classes"] = len(classes)
+    assert len(classes) == 2 * n - 1
+
+
+@pytest.mark.parametrize("depth", [4, 5, 6])
+def test_quotient_on_trees(benchmark, depth):
+    tree = binary_tree_structure(depth)
+
+    def run():
+        return quotient(tree, 2)
+
+    quotiented = benchmark(run)
+    benchmark.extra_info["tree_elements"] = tree.domain_size
+    benchmark.extra_info["quotient_size"] = quotiented.size
+    assert quotiented.size < tree.domain_size

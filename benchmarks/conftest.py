@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+The benchmarks double as the experiment harness (see EXPERIMENTS.md):
+each records the measured quantities in ``benchmark.extra_info`` so the
+printed table carries the qualitative results alongside the timings.
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["suite"] = "repro: On the BDD/FC Conjecture"

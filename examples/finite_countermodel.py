@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Theorem 2, step by step: building a finite counter-model.
+
+The paper's headline construction: for a binary BDD theory T, a database
+D, and a query Q not certain in (D, T), produce a *finite* model of
+D ∧ T in which Q fails.  This script narrates each of the five
+structures of Section 3.3 on Example 1's theory.
+
+Run:  python examples/finite_countermodel.py
+"""
+
+from repro import parse_query, parse_structure, parse_theory
+from repro.chase import chase, is_model
+from repro.core import build_finite_counter_model
+from repro.lf import satisfies, structure_homomorphism
+from repro.rewriting import bdd_profile
+from repro.skeleton import lemma3_report, skeleton
+from repro.vtdag import is_vtdag
+
+
+def main() -> None:
+    theory = parse_theory(
+        """
+        E(x,y) -> exists z. E(y,z)
+        E(x,y), E(y,z), E(z,x) -> exists t. U(x,t)
+        U(x,y) -> exists z. U(y,z)
+        """
+    )
+    database = parse_structure("E(a,b)")
+    query = parse_query("U(x,y)")  # "some U-atom exists": false in the chase
+
+    print("Structure (i): the skeleton S(D, T)")
+    skel = skeleton(database, theory, max_depth=8)
+    report = lemma3_report(skel)
+    print(f"    {skel.structure.domain_size} elements, "
+          f"forest={report.forest}, VTDAG={is_vtdag(skel.structure)}, "
+          f"degree ≤ {report.degree_bound} (observed {report.degree_observed})")
+
+    print("Structure (ii): Chase(D, T) — infinite, truncated here")
+    chased = chase(database, theory, max_depth=8)
+    print(f"    Chase^8 has {len(chased.structure)} facts; "
+          f"U-atoms: {len(chased.structure.facts_with_pred('U'))} (the chain "
+          "never closes a triangle)")
+
+    print("BDD ingredient: κ from the rule-body rewritings")
+    profile = bdd_profile(theory)
+    print(f"    κ = {profile.kappa}, all rewritings saturated = {profile.saturated}")
+
+    print("Structures (iii)-(iv): M_η(S̄) and its datalog saturation")
+    result = build_finite_counter_model(theory, database, query)
+    model = result.model
+    print(f"    chase depth used: {result.depth}, η = {result.eta}, "
+          f"interior {result.interior_size} elements → model {result.model_size} elements")
+
+    print("The finite counter-model M:")
+    for fact in model.sorted_facts():
+        print("   ", fact)
+
+    print("\nVerification:")
+    print("    M ⊇ D          :", model.contains_structure(database))
+    print("    M ⊨ T          :", is_model(model, theory))
+    print("    M ⊭ Q          :", not satisfies(model, query.boolean()))
+    mapping = structure_homomorphism(
+        chase(database, theory, max_depth=3).structure, model
+    )
+    print("    Chase^3 → M hom:", mapping is not None,
+          " (M' ⊆ M: the homomorphic image of the chase, Section 2.1)")
+
+
+if __name__ == "__main__":
+    main()

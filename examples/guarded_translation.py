@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Guarded Datalog∃ is binary in disguise (Section 5.6).
+
+A guarded ontology over ternary predicates is mechanically rewritten
+into a *binary* program with parent links F_i, creation edges ER_R, and
+monadic tuple memories — and certain answers survive the trip.
+
+Run:  python examples/guarded_translation.py
+"""
+
+from repro import parse_query, parse_structure, parse_theory
+from repro.chase import certain_boolean, chase
+from repro.classes import classify, is_guarded
+from repro.transforms import guarded_to_binary
+
+
+def main() -> None:
+    theory = parse_theory(
+        """
+        P(x,y,z) -> exists w. R(y,z,w)
+        R(x,y,z) -> exists w. P(z,y,w)
+        P(x,y,z), S(y) -> G(z)
+        """
+    )
+    database = parse_structure("P(a,b,c)\nS(b)")
+    print("Guarded theory (max arity 3):")
+    for rule in theory:
+        print("   ", rule)
+    print("guarded:", is_guarded(theory), "| binary:", theory.is_binary)
+
+    translation = guarded_to_binary(theory)
+    print(f"\nBinary translation: {len(translation.theory)} rules over "
+          f"{len(translation.theory.signature.relation_names())} binary/unary "
+          f"predicates (K = {translation.parent_count} parent indices)")
+    for rule in list(translation.theory)[:6]:
+        print("   ", rule)
+    print("    ...")
+
+    translated_db = translation.translate_database(database)
+    print(f"\nDatabase translation: {len(database)} facts → "
+          f"{len(translated_db)} binary facts")
+    for fact in translated_db.sorted_facts():
+        print("   ", fact)
+
+    print("\nCertain-answer agreement:")
+    for text, depth in (("G('c')", 4), ("G('a')", 4), ("R('b','c',w)", 4)):
+        query = parse_query(text)
+        original = certain_boolean(database, theory, query, max_depth=depth)
+        translated_query = translation.translate_query(query)
+        binary = certain_boolean(
+            translated_db, translation.theory, translated_query, max_depth=2 * depth
+        )
+        print(f"    {text:16}  original: {original!s:5}  binary: {binary!s:5}")
+
+    original_growth = chase(database, theory, max_depth=4)
+    binary_growth = chase(translated_db, translation.theory, max_depth=8)
+    print(f"\nBoth chases keep inventing witnesses (the P/R ping-pong): "
+          f"{len(original_growth.new_elements)} vs "
+          f"{len(binary_growth.new_elements)} new elements")
+
+
+if __name__ == "__main__":
+    main()

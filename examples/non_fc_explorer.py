@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Exploring the frontier of finite controllability (Section 5.5).
+
+Two non-FC theories, two very different reasons:
+
+* successor + transitivity *defines an ordering* — the textbook reason
+  a theory fails FC;
+* the paper's "notorious example" defines **no** ordering, refuting the
+  elegant Conjecture 2, yet still fails FC: every finite model satisfies
+  Φ = E(x,y) ∧ R(y,y) although the chase never does.
+
+Run:  python examples/non_fc_explorer.py
+"""
+
+from repro import parse_query, parse_structure
+from repro.chase import certain_boolean, chase, datalog_saturate, is_model
+from repro.fc import every_finite_model_satisfies, find_ordering, search_finite_model
+from repro.lf import satisfies
+from repro.zoo import (
+    remark3_theory,
+    section55_database,
+    section55_query,
+    section55_theory,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Theory A: successor + transitivity (Remark 3's shape).
+    # ------------------------------------------------------------------
+    ordering_theory = remark3_theory()
+    database = parse_structure("E(a,b)")
+    print("Theory A (successor + transitivity):")
+    for rule in ordering_theory:
+        print("   ", rule)
+    witness = find_ordering(ordering_theory, database, min_size=5)
+    print(f"  defines an ordering?  YES: Φ(x,y) = {witness.query}, "
+          f"chain of {witness.size} chase elements")
+    model = search_finite_model(database, ordering_theory, max_elements=5).model
+    reflexive = parse_query("E(x,x)")
+    print(f"  every finite model closes a cycle: E(x,x) holds = "
+          f"{satisfies(model, reflexive)}")
+
+    # ------------------------------------------------------------------
+    # Theory B: the paper's notorious example.
+    # ------------------------------------------------------------------
+    theory = section55_theory()
+    db = section55_database()
+    phi = section55_query()
+    print("\nTheory B (the Section 5.5 example):")
+    for rule in theory:
+        print("   ", rule)
+
+    print("  defines an ordering? ", end="")
+    found = find_ordering(theory, db, min_size=5)
+    print("NO (no small Φ orders the chase)" if found is None else f"yes?! {found.query}")
+
+    verdict = certain_boolean(db, theory, phi.boolean(), max_depth=10)
+    print(f"  chase satisfies Φ = E(x,y) ∧ R(y,y)?  "
+          f"{'no (up to depth 10)' if verdict is not True else 'yes'}")
+
+    holds, stats = every_finite_model_satisfies(
+        db, theory, phi.boolean(), max_elements=6, max_nodes=50_000
+    )
+    print(f"  every finite model (≤ 6 elements) satisfies Φ?  "
+          f"{holds} — exhaustive search over {stats.nodes} states, "
+          f"exhausted={stats.exhausted}")
+
+    # Replay the paper's pen-and-paper argument on a concrete lasso.
+    lasso = parse_structure(
+        "E(a0,a1)\nE(a1,a2)\nE(a2,a3)\nE(a3,a1)\nR(a0,a0)"
+    )
+    saturated = datalog_saturate(lasso, theory).structure
+    print(f"  hand-built lasso model: is a model = {is_model(saturated, theory)}, "
+          f"Φ holds = {satisfies(saturated, phi.boolean())} "
+          "(the R-walk catches its own tail, as in the paper's proof)")
+
+
+if __name__ == "__main__":
+    main()

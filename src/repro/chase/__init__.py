@@ -1,0 +1,58 @@
+"""The chase engine: non-oblivious, parallel-round, budgeted.
+
+Quick tour
+----------
+>>> from repro.lf import parse_theory, parse_structure
+>>> from repro.chase import chase
+>>> theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+>>> result = chase(parse_structure("E(a,b)"), theory, max_depth=5)
+>>> result.depth
+5
+"""
+
+from .certain import certain_answers, certain_boolean, chase_entails
+from .engine import (
+    ChaseConfig,
+    chase,
+    chase_step,
+    chase_with_embargo,
+    datalog_saturate,
+    is_model,
+    violations,
+)
+from .levels import chase_levels, observed_derivation_depth, query_depth_profile
+from .provenance import Derivation, deepest_derivation, explain, explain_all
+from .results import ChaseResult
+from .seminaive import seminaive_saturate
+from .termination import (
+    DependencyGraph,
+    dependency_graph,
+    is_weakly_acyclic,
+    special_cycle_witness,
+)
+
+__all__ = [
+    "ChaseConfig",
+    "ChaseResult",
+    "DependencyGraph",
+    "Derivation",
+    "certain_answers",
+    "certain_boolean",
+    "chase",
+    "chase_entails",
+    "chase_levels",
+    "chase_step",
+    "chase_with_embargo",
+    "datalog_saturate",
+    "deepest_derivation",
+    "dependency_graph",
+    "explain",
+    "explain_all",
+    "is_model",
+    "is_weakly_acyclic",
+    "observed_derivation_depth",
+    "query_depth_profile",
+    "seminaive_saturate",
+    "special_cycle_witness",
+    "violations",
+]

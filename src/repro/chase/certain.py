@@ -1,0 +1,88 @@
+"""Certain answers: ``T, D |= Φ`` via the chase.
+
+Since the chase is a free structure, ``D, T ⊨ Φ`` iff
+``Chase(D,T) ⊨ Φ`` (Section 1.1).  The chase may be infinite, so the
+harness below works level by level and reports three-valued verdicts:
+
+* ``True``  — the query holds in some finite truncation (hence in the
+  chase: truncations are substructures and CQs are preserved);
+* ``False`` — the chase saturated without the query: it provably fails;
+* ``None``  — the budget was exhausted with the query still absent; on
+  a BDD theory, combine with the rewriting engine
+  (:mod:`repro.rewriting`) for a definite answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..lf.homomorphism import all_answers, satisfies
+from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..lf.rules import Theory
+from ..lf.structures import Structure
+from ..lf.terms import Constant, Element
+from .engine import ChaseConfig, chase
+from .results import ChaseResult
+
+Query = "ConjunctiveQuery | UnionOfConjunctiveQueries"
+
+
+def certain_boolean(
+    database: Structure,
+    theory: Theory,
+    query: Query,
+    max_depth: int = 20,
+    max_facts: "Optional[int]" = 200_000,
+) -> "Optional[bool]":
+    """Three-valued certain answer for a Boolean query.
+
+    See the module docstring for the meaning of the verdicts.
+    """
+    result = chase(
+        database,
+        theory,
+        ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+    )
+    if satisfies(result.structure, query):
+        return True
+    if result.saturated:
+        return False
+    return None
+
+
+def certain_answers(
+    database: Structure,
+    theory: Theory,
+    query: Query,
+    max_depth: int = 20,
+    max_facts: "Optional[int]" = 200_000,
+) -> "Tuple[Set[Tuple[Element, ...]], bool]":
+    """Certain answers of a query with free variables.
+
+    Returns ``(answers, complete)``: the answer tuples built from
+    *constants only* (tuples containing nulls are not certain answers —
+    nulls are not part of any real database), and whether the chase
+    saturated (making the answer set provably complete).
+    """
+    result = chase(
+        database,
+        theory,
+        ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+    )
+    raw = all_answers(result.structure, query)
+    answers = {
+        row for row in raw if all(isinstance(value, Constant) for value in row)
+    }
+    return answers, result.saturated
+
+
+def chase_entails(
+    chased: ChaseResult,
+    query: Query,
+) -> "Optional[bool]":
+    """Verdict from an already-run chase (see :func:`certain_boolean`)."""
+    if satisfies(chased.structure, query):
+        return True
+    if chased.saturated:
+        return False
+    return None

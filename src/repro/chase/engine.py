@@ -1,0 +1,334 @@
+"""The chase engine.
+
+Implements the paper's chase (Section 1.1) faithfully:
+
+* **non-oblivious** (a.k.a. restricted): an existential TGD fires on a
+  body match only if no witness already exists — "new elements are only
+  created if needed";
+* **parallel rounds**: ``Chase^{i+1}(D,T) = Chase^1(Chase^i(D,T), T)``,
+  where one application of ``Chase^1`` fires *all* triggers that are
+  unsatisfied at the start of the round simultaneously;
+* **one witness per demanded head atom**: within a round, triggers that
+  demand the same head atom (same TGP, same frontier value) share a
+  single fresh null.  This is what makes Lemma 3(iv) true — "for any
+  fixed a ∈ S and TGP R at most one b can exist with S ⊨ R(a, b)".
+
+An *oblivious* mode (every trigger creates a witness, used only for
+contrast experiments) and a *new-element embargo* mode (used by the
+Theorem-2 pipeline to realise Lemma 5's claim) are provided as flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ChaseBudgetExceeded, NewElementEmbargoViolation
+from ..lf.atoms import Atom
+from ..lf.homomorphism import find_homomorphism, homomorphisms
+from ..lf.rules import Rule, Theory
+from ..lf.structures import Structure
+from ..lf.terms import Element, Null, NullFactory, Variable
+from .results import ChaseResult
+
+
+@dataclass
+class ChaseConfig:
+    """Tuning knobs for a chase run.
+
+    Attributes
+    ----------
+    max_depth:
+        Maximum number of parallel rounds (``None`` = unbounded).
+    max_facts:
+        Stop when the structure exceeds this many facts.
+    max_elements:
+        Stop when the domain exceeds this many elements.
+    oblivious:
+        Fire every trigger regardless of existing witnesses.
+    allow_new_elements:
+        When ``False``, a TGD trigger with no witness raises
+        :class:`~repro.errors.NewElementEmbargoViolation` instead of
+        inventing a null (Lemma 5 saturation mode).
+    on_budget:
+        ``"return"`` (default) stops quietly with ``saturated=False``;
+        ``"raise"`` raises :class:`~repro.errors.ChaseBudgetExceeded`.
+    trace:
+        Record, for every derived fact, the rule and the premise facts
+        that produced it (see :mod:`repro.chase.provenance`).  Off by
+        default — it costs memory proportional to the run.
+    """
+
+    max_depth: "Optional[int]" = None
+    max_facts: "Optional[int]" = 200_000
+    max_elements: "Optional[int]" = 50_000
+    oblivious: bool = False
+    allow_new_elements: bool = True
+    on_budget: str = "return"
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_budget not in ("return", "raise"):
+            raise ValueError("on_budget must be 'return' or 'raise'")
+        if self.max_depth is None and self.max_facts is None and self.max_elements is None:
+            raise ValueError("at least one budget must be set (the chase may diverge)")
+
+
+def _head_satisfied(structure: Structure, rule: Rule, binding: Dict[Variable, Element]) -> bool:
+    """Whether the (possibly existential) head already holds under *binding*.
+
+    The frontier variables are bound; the existential ones are left free
+    and searched for — the paper's "there is no y ∈ D satisfying
+    D ⊨ Q(y, ȳ)" condition, generalised to multi-head rules.
+    """
+    frontier_binding = {
+        var: value for var, value in binding.items() if var in rule.head_variables()
+    }
+    return find_homomorphism(rule.head, structure, frontier_binding) is not None
+
+
+def _witness_key(rule: Rule, rule_index: int, binding: Dict[Variable, Element]) -> tuple:
+    """Round-local key under which triggers share a witness.
+
+    For (♠5)-shaped TGDs — single head ``R(y, z)`` with ``z`` the
+    witness — the key is ``(R, value-of-y)``: any two rules demanding
+    the same head atom share the null, which keeps the skeleton's
+    out-degree per TGP at one (Lemma 3).  Other shapes fall back to a
+    per-rule key on the frontier values.
+    """
+    if rule.is_single_head:
+        head = rule.head_atom
+        existentials = rule.existential_variables()
+        bound_args = tuple(
+            binding[arg] if isinstance(arg, Variable) and arg in binding else None
+            for arg in head.args
+        )
+        if head.arity == 2 and isinstance(head.args[1], Variable) and head.args[1] in existentials:
+            if bound_args[0] is not None:
+                return ("atom", head.pred, bound_args[0])
+    frontier_values = tuple(
+        (var.name, binding[var]) for var in sorted(rule.frontier())
+    )
+    return ("rule", rule_index, frontier_values)
+
+
+def chase_step(
+    structure: Structure,
+    theory: Theory,
+    nulls: NullFactory,
+    level: int,
+    config: "Optional[ChaseConfig]" = None,
+    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None,
+) -> Tuple[List[Atom], List[Null]]:
+    """One parallel round (``Chase^1``) applied in place.
+
+    All triggers are evaluated against the structure *as it was at the
+    start of the round*; the produced facts and nulls are returned (and
+    already inserted into *structure*).  When *provenance* is given,
+    each new fact maps to its ``(rule index, premise facts)``.
+    """
+    config = config or ChaseConfig(max_depth=1)
+    snapshot = structure.copy()
+    produced: List[Atom] = []
+    invented: List[Null] = []
+    shared_witnesses: Dict[tuple, Dict[Variable, Null]] = {}
+
+    def record(fact: Atom, rule_index: int, rule: Rule, binding) -> None:
+        if provenance is not None and fact not in provenance:
+            premises = tuple(
+                a.substitute(binding) for a in rule.body if not a.is_equality
+            )
+            provenance[fact] = (rule_index, premises)
+
+    for rule_index, rule in enumerate(theory.rules):
+        for binding in homomorphisms(rule.body, snapshot):
+            if rule.is_datalog:
+                for head in rule.head:
+                    fact = head.substitute(binding)  # type: ignore[arg-type]
+                    if structure.add_fact(fact):
+                        produced.append(fact)
+                        record(fact, rule_index, rule, binding)
+                continue
+            if not config.oblivious and _head_satisfied(snapshot, rule, binding):
+                continue
+            if not config.allow_new_elements:
+                raise NewElementEmbargoViolation(
+                    f"rule {rule} demands a new witness on {binding} "
+                    f"(Lemma 5 embargo)"
+                )
+            key = _witness_key(rule, rule_index, binding)
+            if config.oblivious:
+                key = ("oblivious", rule_index, tuple(sorted(
+                    (var.name, value) for var, value in binding.items()
+                )), len(invented))
+            witnesses = shared_witnesses.get(key)
+            if witnesses is None:
+                witnesses = {
+                    var: nulls.fresh(rule_index=rule_index, level=level)
+                    for var in sorted(rule.existential_variables())
+                }
+                shared_witnesses[key] = witnesses
+                invented.extend(witnesses[var] for var in sorted(witnesses))
+            extended = dict(binding)
+            extended.update(witnesses)
+            for head in rule.head:
+                fact = head.substitute(extended)  # type: ignore[arg-type]
+                if structure.add_fact(fact):
+                    produced.append(fact)
+                    record(fact, rule_index, rule, binding)
+    return produced, invented
+
+
+def chase(
+    database: Structure,
+    theory: Theory,
+    config: "Optional[ChaseConfig]" = None,
+    **overrides,
+) -> ChaseResult:
+    """Run the chase on a copy of *database* under *theory*.
+
+    Keyword overrides (``max_depth=...`` etc.) are applied on top of
+    *config* (or the default config).  The input structure is never
+    mutated.
+
+    Returns
+    -------
+    ChaseResult
+        With ``saturated=True`` iff a fixpoint was reached within the
+        budgets; the result's :attr:`~ChaseResult.fact_level` maps every
+        fact to the round that introduced it (database facts at 0).
+
+    Raises
+    ------
+    ChaseBudgetExceeded
+        Only when ``config.on_budget == "raise"``.
+    NewElementEmbargoViolation
+        When ``allow_new_elements=False`` and an existential trigger
+        has no witness.
+    """
+    if config is None:
+        config = ChaseConfig()
+    if overrides:
+        merged = {**config.__dict__, **overrides}
+        config = ChaseConfig(**merged)
+
+    working = database.copy()
+    nulls = NullFactory.above(working.domain())
+    fact_level: Dict[Atom, int] = {fact: 0 for fact in working.facts()}
+    new_elements: List[Null] = []
+    rounds_fired: List[int] = []
+    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = (
+        {} if config.trace else None
+    )
+    depth = 0
+    saturated = False
+
+    while True:
+        if config.max_depth is not None and depth >= config.max_depth:
+            break
+        produced, invented = chase_step(
+            working, theory, nulls, depth + 1, config, provenance
+        )
+        if not produced and not invented:
+            saturated = True
+            break
+        depth += 1
+        rounds_fired.append(len(produced))
+        new_elements.extend(invented)
+        for fact in produced:
+            fact_level.setdefault(fact, depth)
+        over_facts = config.max_facts is not None and len(working) > config.max_facts
+        over_elements = (
+            config.max_elements is not None and working.domain_size > config.max_elements
+        )
+        if over_facts or over_elements:
+            if config.on_budget == "raise":
+                raise ChaseBudgetExceeded(
+                    f"chase exceeded budget at depth {depth}",
+                    depth=depth,
+                    facts=len(working),
+                )
+            break
+
+    return ChaseResult(
+        structure=working,
+        depth=depth,
+        saturated=saturated,
+        fact_level=fact_level,
+        new_elements=new_elements,
+        rounds_fired=rounds_fired,
+        provenance=provenance,
+    )
+
+
+def datalog_saturate(
+    structure: Structure,
+    theory: Theory,
+    max_depth: "Optional[int]" = None,
+    max_facts: "Optional[int]" = 500_000,
+) -> ChaseResult:
+    """Saturate *structure* under the *datalog* rules of the theory only.
+
+    On a finite structure this always terminates (no new elements are
+    ever created).  Used as a building block by the Theorem-2 pipeline
+    and by model checking.
+    """
+    datalog_only = Theory(theory.datalog_rules(), theory.signature)
+    return chase(
+        structure,
+        datalog_only,
+        ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+    )
+
+
+def chase_with_embargo(
+    structure: Structure,
+    theory: Theory,
+    max_depth: "Optional[int]" = None,
+    max_facts: "Optional[int]" = 500_000,
+) -> ChaseResult:
+    """Chase *structure* under the full theory, forbidding new elements.
+
+    This is the executable form of Lemma 5: on the quotient of a
+    conservative coloring the full chase needs no new elements, so this
+    call saturates; on an insufficient quotient it raises
+    :class:`~repro.errors.NewElementEmbargoViolation`.
+    """
+    return chase(
+        structure,
+        theory,
+        ChaseConfig(
+            max_depth=max_depth,
+            max_facts=max_facts,
+            max_elements=None,
+            allow_new_elements=False,
+        ),
+    )
+
+
+def is_model(structure: Structure, theory: Theory) -> bool:
+    """Whether every rule of *theory* is satisfied in *structure*.
+
+    For each rule and each body match, the head must hold (with the
+    existential variables witnessed by existing elements).
+    """
+    for rule in theory.rules:
+        for binding in homomorphisms(rule.body, structure):
+            if not _head_satisfied(structure, rule, binding):
+                return False
+    return True
+
+
+def violations(structure: Structure, theory: Theory, limit: int = 10) -> List[Tuple[Rule, Dict[Variable, Element]]]:
+    """Up to *limit* (rule, body-match) pairs whose head fails.
+
+    Useful diagnostics when :func:`is_model` returns ``False``.
+    """
+    found: List[Tuple[Rule, Dict[Variable, Element]]] = []
+    for rule in theory.rules:
+        for binding in homomorphisms(rule.body, structure):
+            if not _head_satisfied(structure, rule, binding):
+                found.append((rule, binding))
+                if len(found) >= limit:
+                    return found
+    return found

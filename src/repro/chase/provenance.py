@@ -1,0 +1,128 @@
+"""Derivation trees: *why* is a fact in the chase?
+
+When a chase runs with ``ChaseConfig(trace=True)``, every derived fact
+records the rule and premise facts that produced it first.  This module
+turns those records into :class:`Derivation` trees — the shape the
+paper reasons about when it says "a projection of a valid derivation
+from Chase(D,T) is a valid derivation in Chase(M,T)" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ChaseError
+from ..lf.atoms import Atom
+from ..lf.rules import Theory
+from .results import ChaseResult
+
+
+@dataclass
+class Derivation:
+    """A derivation tree for one fact.
+
+    Attributes
+    ----------
+    fact:
+        The derived fact (or a database fact, at the leaves).
+    rule_index:
+        Index of the producing rule in the theory (``None`` for
+        database facts).
+    premises:
+        Sub-derivations of the body facts (empty at the leaves).
+    """
+
+    fact: Atom
+    rule_index: "Optional[int]" = None
+    premises: List["Derivation"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this is a database fact (no rule produced it)."""
+        return self.rule_index is None
+
+    @property
+    def height(self) -> int:
+        """Length of the longest derivation chain (leaves have 0).
+
+        This is the fact's *derivation depth* in the sequential sense;
+        it upper-bounds the parallel-round level recorded in
+        :attr:`~repro.chase.results.ChaseResult.fact_level`.
+        """
+        if not self.premises:
+            return 0
+        return 1 + max(premise.height for premise in self.premises)
+
+    @property
+    def size(self) -> int:
+        """Number of rule applications in the tree."""
+        own = 0 if self.is_leaf else 1
+        return own + sum(premise.size for premise in self.premises)
+
+    def rules_used(self) -> "List[int]":
+        """The distinct rule indices appearing in the tree (sorted)."""
+        found = set()
+        if self.rule_index is not None:
+            found.add(self.rule_index)
+        for premise in self.premises:
+            found.update(premise.rules_used())
+        return sorted(found)
+
+    def render(self, theory: "Optional[Theory]" = None, indent: str = "") -> str:
+        """An ASCII rendering of the tree, optionally naming the rules."""
+        if self.is_leaf:
+            label = "database"
+        elif theory is not None:
+            label = f"rule {self.rule_index}: {theory[self.rule_index]}"
+        else:
+            label = f"rule {self.rule_index}"
+        lines = [f"{indent}{self.fact}   [{label}]"]
+        for premise in self.premises:
+            lines.append(premise.render(theory, indent + "    "))
+        return "\n".join(lines)
+
+
+def explain(
+    result: ChaseResult,
+    fact: Atom,
+    _building: "Optional[set]" = None,
+) -> Derivation:
+    """The derivation tree of *fact* from a traced chase run.
+
+    Raises
+    ------
+    ChaseError
+        If the run was not traced, or the fact is not in the chase.
+    """
+    if result.provenance is None:
+        raise ChaseError("chase was not traced; rerun with ChaseConfig(trace=True)")
+    if not result.structure.has_fact(fact):
+        raise ChaseError(f"{fact} is not a fact of the chase")
+    building = _building if _building is not None else set()
+    record = result.provenance.get(fact)
+    if record is None:
+        return Derivation(fact=fact)  # database fact
+    if fact in building:  # pragma: no cover - defensive (cannot happen:
+        return Derivation(fact=fact)  # premises are strictly older)
+    building.add(fact)
+    rule_index, premises = record
+    children = [explain(result, premise, building) for premise in premises]
+    building.discard(fact)
+    return Derivation(fact=fact, rule_index=rule_index, premises=children)
+
+
+def explain_all(
+    result: ChaseResult, predicate: str, limit: int = 10
+) -> "List[Derivation]":
+    """Derivation trees for up to *limit* facts of the given predicate."""
+    facts = sorted(result.structure.facts_with_pred(predicate), key=str)[:limit]
+    return [explain(result, fact) for fact in facts]
+
+
+def deepest_derivation(result: ChaseResult) -> "Optional[Derivation]":
+    """The derivation tree of a fact at the maximum recorded level."""
+    if not result.fact_level:
+        return None
+    fact = max(result.fact_level, key=lambda f: result.fact_level[f])
+    return explain(result, fact)

@@ -1,0 +1,91 @@
+"""Result objects for chase runs.
+
+A :class:`ChaseResult` bundles the structure produced by a chase with
+the bookkeeping the rest of the library needs: at which round each fact
+was derived (the *derivation depth* underlying the BDD property), which
+elements were invented, and whether the run reached a fixpoint or hit a
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lf.atoms import Atom
+from ..lf.structures import Structure
+from ..lf.terms import Element, Null
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes
+    ----------
+    structure:
+        The chased structure (``Chase^depth(D, T)``).
+    depth:
+        Number of completed parallel rounds.
+    saturated:
+        ``True`` iff the last round produced nothing, i.e. the structure
+        is a fixpoint: a genuine model of the theory.  When ``False``
+        the run stopped on a budget and the structure is only a
+        truncation ``Chase^depth`` of the (possibly infinite) chase.
+    fact_level:
+        For each fact, the round at which it first appeared (``0`` for
+        database facts).  This is the paper's derivation depth: a query
+        Ψ with ``Chase ⊨ Ψ`` holds in ``Chase^k`` where ``k`` is the
+        maximum level over the matched facts.
+    new_elements:
+        The nulls invented by this run, in creation order.
+    rounds_fired:
+        Per round, how many facts were added (diagnostic/benchmarks).
+    provenance:
+        When the run was traced (``ChaseConfig(trace=True)``): for each
+        derived fact, the ``(rule index, premise facts)`` that produced
+        it first.  ``None`` on untraced runs.  Use
+        :mod:`repro.chase.provenance` to build derivation trees.
+    """
+
+    structure: Structure
+    depth: int
+    saturated: bool
+    fact_level: Dict[Atom, int] = field(default_factory=dict)
+    new_elements: List[Null] = field(default_factory=list)
+    rounds_fired: List[int] = field(default_factory=list)
+    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None
+
+    @property
+    def is_model(self) -> bool:
+        """Alias for :attr:`saturated`: a fixpoint satisfies the theory."""
+        return self.saturated
+
+    def level_of(self, fact: Atom) -> int:
+        """The round at which *fact* appeared (raises if absent)."""
+        return self.fact_level[fact]
+
+    def facts_at_level(self, level: int) -> List[Atom]:
+        """Facts first derived at exactly the given round."""
+        return [fact for fact, at in self.fact_level.items() if at == level]
+
+    def truncate(self, depth: int) -> Structure:
+        """The structure ``Chase^depth``: facts of level ≤ *depth*.
+
+        The returned structure contains precisely the facts derived in
+        the first *depth* rounds (round 0 being the database itself).
+        """
+        kept = [fact for fact, at in self.fact_level.items() if at <= depth]
+        return Structure(kept, signature=self.structure.signature)
+
+    def query_depth(self, binding_levels: "Tuple[int, ...]") -> int:
+        """Derivation depth of a match: the max level among its facts."""
+        return max(binding_levels, default=0)
+
+    def __str__(self) -> str:
+        status = "saturated" if self.saturated else "truncated"
+        return (
+            f"ChaseResult({status} at depth {self.depth}, "
+            f"{len(self.structure)} facts, "
+            f"{len(self.new_elements)} new elements)"
+        )

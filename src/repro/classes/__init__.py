@@ -1,0 +1,23 @@
+"""Syntactic class recognisers (linear, guarded, sticky, …)."""
+
+from .recognizers import (
+    classify,
+    guard_of,
+    is_binary,
+    is_frontier_one_heads,
+    is_full_datalog,
+    is_guarded,
+    is_linear,
+    is_sticky,
+)
+
+__all__ = [
+    "classify",
+    "guard_of",
+    "is_binary",
+    "is_frontier_one_heads",
+    "is_full_datalog",
+    "is_guarded",
+    "is_linear",
+    "is_sticky",
+]

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``chase``        run the chase, print facts (optionally explain one)
+``certain``      certain answers of a query (chase route)
+``rewrite``      UCQ rewriting of a query (BDD route), with κ-style stats
+``classify``     syntactic class profile of a theory
+``countermodel`` the Theorem-2/3 pipeline: a finite model avoiding a query
+``skeleton``     extract S(D,T) and check Lemma 3
+
+Theories/databases are files; pass ``-e`` to treat the arguments as
+inline text instead.  Everything prints deterministic, line-oriented
+output suitable for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .errors import ReproError
+from .lf import parse_query, parse_structure, parse_theory
+
+
+def _load(text_or_path: str, inline: bool) -> str:
+    if inline:
+        return text_or_path
+    return Path(text_or_path).read_text()
+
+
+def _theory(args):
+    return parse_theory(_load(args.theory, args.inline))
+
+
+def _database(args):
+    return parse_structure(_load(args.database, args.inline))
+
+
+def _query(args):
+    free = [name for name in (args.free or "").split(",") if name]
+    return parse_query(args.query, free=free)
+
+
+def _cmd_chase(args) -> int:
+    from .chase import ChaseConfig, chase, explain
+
+    theory = _theory(args)
+    database = _database(args)
+    result = chase(
+        database,
+        theory,
+        ChaseConfig(max_depth=args.depth, trace=bool(args.explain)),
+    )
+    status = "saturated" if result.saturated else f"truncated at depth {result.depth}"
+    print(f"# chase {status}: {len(result.structure)} facts, "
+          f"{result.structure.domain_size} elements, "
+          f"{len(result.new_elements)} invented")
+    for fact in result.structure.sorted_facts():
+        print(fact)
+    if args.explain:
+        facts = sorted(result.structure.facts_with_pred(args.explain), key=str)
+        if not facts:
+            print(f"# no {args.explain}-facts to explain", file=sys.stderr)
+            return 1
+        print(f"# derivation of {facts[0]}:")
+        print(explain(result, facts[0]).render(theory))
+    return 0
+
+
+def _cmd_certain(args) -> int:
+    from .chase import certain_answers, certain_boolean
+
+    theory = _theory(args)
+    database = _database(args)
+    query = _query(args)
+    if query.is_boolean:
+        verdict = certain_boolean(database, theory, query, max_depth=args.depth)
+        print({True: "certain", False: "not-certain", None: "unknown"}[verdict])
+        return 0 if verdict is not None else 2
+    answers, complete = certain_answers(
+        database, theory, query, max_depth=args.depth
+    )
+    print(f"# {len(answers)} certain answers "
+          f"({'complete' if complete else 'lower bound'})")
+    for row in sorted(answers, key=str):
+        print(", ".join(str(value) for value in row))
+    return 0
+
+
+def _cmd_rewrite(args) -> int:
+    from .rewriting import RewriteConfig, rewrite
+
+    theory = _theory(args)
+    query = _query(args)
+    config = RewriteConfig(
+        max_steps=args.max_steps, max_queries=args.max_queries, on_budget="return"
+    )
+    result = rewrite(query, theory, config)
+    status = "saturated" if result.saturated else "budget-exhausted (incomplete!)"
+    print(f"# {status}: {len(result.ucq)} disjuncts, max width "
+          f"{result.max_width}, k_psi <= {result.depth_bound}")
+    for disjunct in result.ucq:
+        print(disjunct)
+    return 0 if result.saturated else 2
+
+
+def _cmd_classify(args) -> int:
+    from .classes import classify
+
+    profile = classify(_theory(args))
+    for name, verdict in sorted(profile.items()):
+        print(f"{name}: {'yes' if verdict else 'no'}")
+    return 0
+
+
+def _cmd_countermodel(args) -> int:
+    from .core import PipelineConfig, build_finite_counter_model
+
+    theory = _theory(args)
+    database = _database(args)
+    query = _query(args)
+    config = PipelineConfig()
+    if args.depths:
+        config = PipelineConfig(
+            chase_depths=tuple(int(d) for d in args.depths.split(","))
+        )
+    result = build_finite_counter_model(theory, database, query, config)
+    if result.query_certain:
+        print("# the query is certain: no counter-model exists")
+        return 3
+    print(f"# verified finite counter-model: {result.model_size} elements "
+          f"(kappa={result.kappa}, eta={result.eta}, depth={result.depth})")
+    for fact in result.model.sorted_facts():
+        print(fact)
+    return 0
+
+
+def _cmd_skeleton(args) -> int:
+    from .skeleton import lemma3_report, skeleton
+
+    theory = _theory(args)
+    database = _database(args)
+    result = skeleton(database, theory, max_depth=args.depth)
+    report = lemma3_report(result)
+    print(f"# skeleton: {len(result.structure)} atoms over "
+          f"{result.structure.domain_size} elements; "
+          f"flesh: {len(result.flesh)} atoms")
+    print(f"# Lemma 3: forest={report.forest} acyclic={report.acyclic} "
+          f"in-degree<=1={report.in_degree_at_most_one} "
+          f"degree {report.degree_observed}/{report.degree_bound} "
+          f"vtdag={report.vtdag}")
+    for fact in result.structure.sorted_facts():
+        print(fact)
+    return 0 if report.all_hold else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A Datalog∃ laboratory for 'On the BDD/FC Conjecture'.",
+    )
+    parser.add_argument(
+        "-e", "--inline", action="store_true",
+        help="treat THEORY/DATABASE arguments as inline text, not files",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    chase_cmd = commands.add_parser("chase", help="run the chase")
+    chase_cmd.add_argument("theory")
+    chase_cmd.add_argument("database")
+    chase_cmd.add_argument("--depth", type=int, default=8)
+    chase_cmd.add_argument("--explain", metavar="PRED",
+                           help="print a derivation tree for a PRED-fact")
+    chase_cmd.set_defaults(handler=_cmd_chase)
+
+    certain_cmd = commands.add_parser("certain", help="certain answers")
+    certain_cmd.add_argument("theory")
+    certain_cmd.add_argument("database")
+    certain_cmd.add_argument("query")
+    certain_cmd.add_argument("--free", help="comma-separated free variables")
+    certain_cmd.add_argument("--depth", type=int, default=12)
+    certain_cmd.set_defaults(handler=_cmd_certain)
+
+    rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (BDD)")
+    rewrite_cmd.add_argument("theory")
+    rewrite_cmd.add_argument("query")
+    rewrite_cmd.add_argument("--free", help="comma-separated free variables")
+    rewrite_cmd.add_argument("--max-steps", type=int, default=20_000)
+    rewrite_cmd.add_argument("--max-queries", type=int, default=2_000)
+    rewrite_cmd.set_defaults(handler=_cmd_rewrite)
+
+    classify_cmd = commands.add_parser("classify", help="syntactic classes")
+    classify_cmd.add_argument("theory")
+    classify_cmd.set_defaults(handler=_cmd_classify)
+
+    counter_cmd = commands.add_parser(
+        "countermodel", help="finite counter-model (Theorem 2/3)"
+    )
+    counter_cmd.add_argument("theory")
+    counter_cmd.add_argument("database")
+    counter_cmd.add_argument("query")
+    counter_cmd.add_argument("--free", help="comma-separated free variables")
+    counter_cmd.add_argument("--depths", help="comma-separated chase depths")
+    counter_cmd.set_defaults(handler=_cmd_countermodel)
+
+    skeleton_cmd = commands.add_parser("skeleton", help="extract S(D,T)")
+    skeleton_cmd.add_argument("theory")
+    skeleton_cmd.add_argument("database")
+    skeleton_cmd.add_argument("--depth", type=int, default=8)
+    skeleton_cmd.set_defaults(handler=_cmd_skeleton)
+
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Colorings, natural colorings, and conservativity (Sections 2.4–2.6, 4)."""
+
+from .colors import Color, ColoredStructure, apply_coloring, coloring_from_structure
+from .conservativity import (
+    ConservativeWitness,
+    ConservativityReport,
+    conservativity_report,
+    find_conservative,
+    is_conservative,
+    spade3_holds,
+)
+from .natural import (
+    cyclic_coloring,
+    distinct_coloring,
+    hue_assignment,
+    is_natural,
+    lightness_classes,
+    natural_coloring,
+    naturality_violations,
+)
+
+__all__ = [
+    "Color",
+    "ColoredStructure",
+    "ConservativeWitness",
+    "ConservativityReport",
+    "apply_coloring",
+    "coloring_from_structure",
+    "conservativity_report",
+    "cyclic_coloring",
+    "distinct_coloring",
+    "find_conservative",
+    "hue_assignment",
+    "is_conservative",
+    "is_natural",
+    "lightness_classes",
+    "natural_coloring",
+    "naturality_violations",
+    "spade3_holds",
+]

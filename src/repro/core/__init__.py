@@ -1,0 +1,44 @@
+"""The paper's primary contribution: Theorem 2's finite counter-model
+construction, with the Section 3.1 normalisations.
+
+Quick tour
+----------
+>>> from repro.lf import parse_theory, parse_structure, parse_query
+>>> from repro.core import build_finite_counter_model
+>>> theory = parse_theory('''
+... E(x,y) -> exists z. E(y,z)
+... E(x,y), E(u,y) -> R(x,u)
+... ''')
+>>> result = build_finite_counter_model(
+...     theory, parse_structure("E(a,b)"), parse_query("R(x,u), U(u)"))
+>>> result.model is not None
+True
+"""
+
+from .finite_model import (
+    FiniteModelResult,
+    PipelineConfig,
+    build_finite_counter_model,
+    certify_counter_model,
+)
+from .normalize import (
+    HiddenQuery,
+    PreparedTheory,
+    Spade5Result,
+    hide_query,
+    prepare,
+    spade5_normalize,
+)
+
+__all__ = [
+    "FiniteModelResult",
+    "HiddenQuery",
+    "PipelineConfig",
+    "PreparedTheory",
+    "Spade5Result",
+    "build_finite_counter_model",
+    "certify_counter_model",
+    "hide_query",
+    "prepare",
+    "spade5_normalize",
+]

@@ -1,0 +1,120 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped by
+the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParseError(ReproError):
+    """A rule, query, or fact string could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The offending input fragment.
+    position:
+        Character offset of the error inside ``text`` (or ``None``).
+    """
+
+    def __init__(self, message: str, text: str = "", position: "int | None" = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class SignatureError(ReproError):
+    """A term, atom, or rule is inconsistent with the ambient signature.
+
+    Raised for arity mismatches, unknown relation symbols when strict
+    checking is requested, or attempts to use a reserved predicate name.
+    """
+
+
+class ArityError(SignatureError):
+    """An atom has the wrong number of arguments for its predicate."""
+
+
+class NotBinaryError(SignatureError):
+    """An operation that requires a binary signature received a theory or
+    structure with a relation of arity greater than two."""
+
+
+class RuleError(ReproError):
+    """A rule is malformed (e.g. unsafe head variables in a datalog rule,
+    or an existential TGD whose frontier is not contained in the body)."""
+
+
+class ChaseError(ReproError):
+    """The chase engine was asked to do something it cannot do."""
+
+
+class ChaseBudgetExceeded(ChaseError):
+    """The chase hit its depth or fact budget before reaching a fixpoint.
+
+    Attributes
+    ----------
+    depth:
+        Number of completed rounds.
+    facts:
+        Number of facts produced so far.
+    """
+
+    def __init__(self, message: str, depth: int = 0, facts: int = 0):
+        super().__init__(message)
+        self.depth = depth
+        self.facts = facts
+
+
+class NewElementEmbargoViolation(ChaseError):
+    """A chase run with ``allow_new_elements=False`` required a fresh null.
+
+    This is the runtime manifestation of a failure of Lemma 5 of the
+    paper: the quotient structure was not conservative enough, and the
+    datalog saturation demanded an existential witness that does not
+    exist.  The Theorem-2 pipeline catches this and retries with larger
+    parameters.
+    """
+
+
+class RewritingBudgetExceeded(ReproError):
+    """The UCQ rewriting engine exhausted its step budget.
+
+    The theory may still be BDD; the caller should either raise the
+    budget or treat the BDD status as unknown.
+    """
+
+    def __init__(self, message: str, steps: int = 0, queries: int = 0):
+        super().__init__(message)
+        self.steps = steps
+        self.queries = queries
+
+
+class NotBDDWitness(ReproError):
+    """Evidence was found that the theory is *not* BDD for some query
+    (the rewriting diverged past a proven-divergence criterion)."""
+
+
+class ColoringError(ReproError):
+    """A coloring violates Definition 7 or 14 of the paper."""
+
+
+class ConservativityError(ReproError):
+    """A conservativity search failed within its budget."""
+
+
+class PipelineError(ReproError):
+    """The Theorem-2 finite-model pipeline could not produce a verified
+    model within the configured budgets."""
+
+
+class ModelSearchExhausted(ReproError):
+    """The finite-model search explored its whole budget without finding
+    a model (which is *not* a proof that none exists unless the search
+    space was complete)."""

@@ -1,0 +1,221 @@
+"""Finite-model search: the independent check on finite controllability.
+
+Definition 1 makes FC a statement about the existence of finite models:
+``T is FC`` iff whenever ``Chase(D, T) ⊭ Φ`` there is a finite
+``M ⊨ D, T`` with ``M ⊭ Φ``.  The Theorem-2 pipeline *constructs* such
+an M for binary BDD theories; this module *searches* for one with no
+theory-side assumptions, which gives the experiments an independent
+oracle to cross-check against — and, crucially, a way to explore the
+paper's **negative** example (Section 5.5), where every finite model
+satisfies the query.
+
+The search is a depth-first exploration of chase states in which an
+existential trigger may be satisfied by **reusing** any existing
+element before inventing a fresh one (fresh elements bounded by
+``max_elements``).  Datalog rules are saturated deterministically at
+every node.  Within its bounds the search is complete: if it reports
+"no model avoiding Φ with ≤ N elements", there is none.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..chase.engine import datalog_saturate, is_model
+from ..errors import ModelSearchExhausted
+from ..lf.atoms import Atom
+from ..lf.homomorphism import find_homomorphism, homomorphisms, satisfies
+from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..lf.rules import Rule, Theory
+from ..lf.structures import Structure
+from ..lf.terms import Element, Null, NullFactory, Variable
+
+
+@dataclass
+class SearchStats:
+    """Diagnostics of a search run.
+
+    Attributes
+    ----------
+    nodes:
+        States expanded.
+    pruned_by_query:
+        Branches cut because the forbidden query became true.
+    duplicates:
+        States skipped as already seen (by fact-set).
+    exhausted:
+        ``True`` iff the whole bounded space was explored (makes a
+        negative answer a *proof* for the given bounds).
+    """
+
+    nodes: int = 0
+    pruned_by_query: int = 0
+    duplicates: int = 0
+    exhausted: bool = True
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :func:`search_finite_model`.
+
+    Attributes
+    ----------
+    model:
+        A finite model (``None`` if none found within bounds).
+    stats:
+        Search diagnostics.
+    """
+
+    model: "Optional[Structure]"
+    stats: SearchStats
+
+    @property
+    def found(self) -> bool:
+        return self.model is not None
+
+
+def _violated_existential(
+    structure: Structure, theory: Theory
+) -> "Optional[Tuple[Rule, Dict[Variable, Element]]]":
+    """First existential trigger whose head has no witness."""
+    for rule in theory.rules:
+        if rule.is_datalog:
+            continue
+        for binding in homomorphisms(rule.body, structure):
+            frontier_binding = {
+                var: value
+                for var, value in binding.items()
+                if var in rule.head_variables()
+            }
+            if find_homomorphism(rule.head, structure, frontier_binding) is None:
+                return rule, binding
+    return None
+
+
+def _apply_head(
+    structure: Structure,
+    rule: Rule,
+    binding: Dict[Variable, Element],
+    witnesses: Dict[Variable, Element],
+) -> Structure:
+    extended = dict(binding)
+    extended.update(witnesses)
+    branched = structure.copy()
+    for head in rule.head:
+        branched.add_fact(head.substitute(extended))  # type: ignore[arg-type]
+    return branched
+
+
+def search_finite_model(
+    database: Structure,
+    theory: Theory,
+    forbidden: "Optional[ConjunctiveQuery | UnionOfConjunctiveQueries]" = None,
+    max_elements: int = 10,
+    max_nodes: int = 50_000,
+) -> SearchResult:
+    """Search for a finite ``M ⊨ database, theory`` (avoiding *forbidden*).
+
+    Existential triggers branch over every reuse of an existing element
+    (per existential variable) and, while the domain is below
+    *max_elements*, one fresh element.  The search prefers reuse, so
+    small models surface first.
+
+    When ``forbidden`` is given, any state satisfying it is pruned —
+    sound because states only grow along a branch and CQs are monotone.
+    """
+    stats = SearchStats()
+    nulls = NullFactory.above(database.domain())
+    seen: Set[frozenset] = set()
+
+    def signature_of(structure: Structure) -> frozenset:
+        return structure.facts()
+
+    start = datalog_saturate(database, theory).structure
+    stack: List[Structure] = [start]
+
+    while stack:
+        if stats.nodes >= max_nodes:
+            stats.exhausted = False
+            break
+        state = stack.pop()
+        marker = signature_of(state)
+        if marker in seen:
+            stats.duplicates += 1
+            continue
+        seen.add(marker)
+        stats.nodes += 1
+
+        if forbidden is not None and satisfies(state, forbidden):
+            stats.pruned_by_query += 1
+            continue
+
+        trigger = _violated_existential(state, theory)
+        if trigger is None:
+            return SearchResult(model=state, stats=stats)
+        rule, binding = trigger
+        existentials = sorted(rule.existential_variables())
+        domain = sorted(state.domain(), key=str)
+
+        branches: List[Structure] = []
+        if state.domain_size < max_elements:
+            fresh = {var: nulls.fresh() for var in existentials}
+            branches.append(_apply_head(state, rule, binding, fresh))
+        for combination in itertools.product(domain, repeat=len(existentials)):
+            witnesses = dict(zip(existentials, combination))
+            branches.append(_apply_head(state, rule, binding, witnesses))
+        # saturate datalog in every branch before stacking; push reuse
+        # branches last so they are explored first (LIFO).
+        for branch in branches:
+            stack.append(datalog_saturate(branch, theory).structure)
+
+    return SearchResult(model=None, stats=stats)
+
+
+def every_finite_model_satisfies(
+    database: Structure,
+    theory: Theory,
+    query: "ConjunctiveQuery | UnionOfConjunctiveQueries",
+    max_elements: int = 8,
+    max_nodes: int = 50_000,
+) -> Tuple[bool, SearchStats]:
+    """Check the Section 5.5 phenomenon: within the bounds, does *every*
+    finite model of (database, theory) satisfy *query*?
+
+    Returns ``(verdict, stats)``.  A ``True`` verdict with
+    ``stats.exhausted`` is a proof for models with at most
+    *max_elements* elements; without exhaustion it is only "none
+    found".  A ``False`` verdict is always a hard counterexample (a
+    model avoiding the query was found).
+    """
+    outcome = search_finite_model(
+        database, theory, forbidden=query, max_elements=max_elements, max_nodes=max_nodes
+    )
+    return (not outcome.found), outcome.stats
+
+
+def find_counter_model(
+    database: Structure,
+    theory: Theory,
+    query: "ConjunctiveQuery | UnionOfConjunctiveQueries",
+    max_elements: int = 10,
+    max_nodes: int = 50_000,
+) -> Structure:
+    """A finite model of (database, theory) avoiding *query*.
+
+    Raises
+    ------
+    ModelSearchExhausted
+        When the bounded search finds none (see
+        :func:`every_finite_model_satisfies` for what that means).
+    """
+    outcome = search_finite_model(
+        database, theory, forbidden=query, max_elements=max_elements, max_nodes=max_nodes
+    )
+    if outcome.model is None:
+        raise ModelSearchExhausted(
+            f"no finite model avoiding the query within {max_elements} "
+            f"elements / {max_nodes} nodes (exhausted={outcome.stats.exhausted})"
+        )
+    return outcome.model

@@ -1,0 +1,132 @@
+"""Atoms: relational facts and rule/query atoms.
+
+An :class:`Atom` is a predicate name applied to a tuple of arguments.
+In rules and queries the arguments are variables and constants; in
+structures ("facts") the arguments are domain elements (constants and
+nulls).  The same class serves both roles, which keeps the substitution
+and homomorphism machinery uniform.
+
+The reserved predicate name ``"="`` encodes the equality atoms ``x = c``
+that the paper allows inside positive types (Definition 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Tuple
+
+from .terms import Constant, Element, Null, Term, Variable, is_ground
+
+#: Reserved predicate name for equality atoms ``x = c`` (Definition 3).
+EQUALITY = "="
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A predicate applied to arguments.
+
+    Attributes
+    ----------
+    pred:
+        Predicate (relation) name.  ``"="`` is reserved for equality.
+    args:
+        The argument tuple.  Variables and constants for rule/query
+        atoms; constants and nulls for facts.
+    """
+
+    pred: str
+    args: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pred:
+            raise ValueError("predicate name must be non-empty")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def is_equality(self) -> bool:
+        """Whether this is an equality atom ``x = c``."""
+        return self.pred == EQUALITY
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables occurring in the atom (with repetitions)."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants occurring in the atom (with repetitions)."""
+        for arg in self.args:
+            if isinstance(arg, Constant):
+                yield arg
+
+    def nulls(self) -> Iterator[Null]:
+        """Yield the nulls occurring in the atom (with repetitions)."""
+        for arg in self.args:
+            if isinstance(arg, Null):
+                yield arg
+
+    def variable_set(self) -> "frozenset[Variable]":
+        """The set of variables occurring in the atom."""
+        return frozenset(self.variables())
+
+    @property
+    def is_fact(self) -> bool:
+        """Whether every argument is a domain element (no variables)."""
+        return all(is_ground(arg) for arg in self.args)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Dict[object, object]) -> "Atom":
+        """Apply *mapping* to the arguments, leaving unmapped ones alone.
+
+        The mapping may send variables to terms or elements, and (for
+        quotient projections) elements to elements.
+        """
+        return Atom(self.pred, tuple(mapping.get(arg, arg) for arg in self.args))
+
+    def rename_predicate(self, new_pred: str) -> "Atom":
+        """Return the same atom under a different predicate name."""
+        return Atom(new_pred, self.args)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.is_equality and len(self.args) == 2:
+            return f"{self.args[0]} = {self.args[1]}"
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.pred}({rendered})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Atom({self})"
+
+
+def atom(pred: str, *args: object) -> Atom:
+    """Convenience constructor: ``atom("E", x, y)``."""
+    return Atom(pred, tuple(args))
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> "frozenset[Variable]":
+    """The set of variables occurring in *atoms*."""
+    seen = set()
+    for item in atoms:
+        seen.update(item.variables())
+    return frozenset(seen)
+
+
+def atoms_constants(atoms: Iterable[Atom]) -> "frozenset[Constant]":
+    """The set of constants occurring in *atoms*."""
+    seen = set()
+    for item in atoms:
+        seen.update(item.constants())
+    return frozenset(seen)

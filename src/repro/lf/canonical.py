@@ -1,0 +1,240 @@
+"""Canonical queries of substructures, and canonical labels.
+
+Two constructions used throughout the positive-type machinery:
+
+* the **canonical query** of ``C ↾ S`` around a distinguished element
+  ``d``: every fact of C whose arguments lie in S becomes an atom, with
+  non-constant elements turned into variables (``d`` becoming the free
+  variable ``y``) and constants kept.  The key property (proved in
+  :mod:`repro.ptypes.ptype`) is that the canonical queries of the
+  ≤ n-element subsets around ``d`` *generate* the positive n-type of
+  ``d`` under query homomorphism.
+
+* a **canonical label** of a small structure: a string invariant under
+  isomorphisms that fix the constants — used as the *lightness* of a
+  color in natural colorings (Definition 14 requires equal lightness to
+  imply isomorphic ``C ↾ (P(e) ∪ C_con)``).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .queries import ConjunctiveQuery
+from .structures import Structure
+from .terms import Constant, Element, Variable
+
+#: The free variable of canonical type queries — the paper's ``y``.
+FREE_VARIABLE = Variable("y")
+
+
+def canonical_query(
+    structure: Structure,
+    elements: Iterable[Element],
+    distinguished: Element,
+    relation_names: "Optional[Iterable[str]]" = None,
+    skip_constant_only: bool = False,
+) -> ConjunctiveQuery:
+    """The canonical CQ of ``structure ↾ elements`` around *distinguished*.
+
+    Parameters
+    ----------
+    structure:
+        The ambient structure.
+    elements:
+        The subset S (must contain *distinguished*).
+    distinguished:
+        The element that becomes the free variable ``y``.  If it is a
+        constant, the query additionally contains the equality atom
+        ``y = c`` — this is how Remark 1's separation of constants is
+        realised.
+    relation_names:
+        Restrict to these relations (the paper's ``Σ`` inside ``Σ̄``,
+        Definition 8 computes types over Σ only, ignoring colors).
+    skip_constant_only:
+        Drop atoms whose arguments are all constants (and differ from
+        the distinguished element).  The positive-type machinery sets
+        this: as the paper notes in Section 4, atoms between constants
+        are irrelevant because the constant part of the structure is
+        unchanged by projections.
+
+    Returns
+    -------
+    ConjunctiveQuery
+        With exactly one free variable ``y``; all other elements of S
+        that are not constants become existential variables.
+    """
+    chosen = set(elements)
+    if distinguished not in chosen:
+        raise ValueError("distinguished element must belong to the subset")
+    allowed = set(relation_names) if relation_names is not None else None
+
+    table: Dict[Element, object] = {}
+    counter = 0
+    for element in sorted(chosen, key=str):
+        if element == distinguished:
+            table[element] = FREE_VARIABLE
+        elif isinstance(element, Constant):
+            table[element] = element
+        else:
+            table[element] = Variable(f"x{counter}")
+            counter += 1
+
+    atoms: List[Atom] = []
+    for fact in structure.facts():
+        if allowed is not None and fact.pred not in allowed:
+            continue
+        if not all(arg in chosen for arg in fact.args):
+            continue
+        if skip_constant_only and all(
+            isinstance(arg, Constant) and arg != distinguished for arg in fact.args
+        ):
+            continue
+        atoms.append(Atom(fact.pred, tuple(table[arg] for arg in fact.args)))
+    if isinstance(distinguished, Constant):
+        atoms.append(Atom("=", (FREE_VARIABLE, distinguished)))
+    if not any(FREE_VARIABLE in a.variable_set() for a in atoms):
+        # The distinguished element occurs in no selected fact; the type
+        # contribution is the trivial query "y exists", which we encode
+        # as the empty conjunction with a free variable obtained from a
+        # vacuous equality y = y (always true).
+        atoms.append(Atom("=", (FREE_VARIABLE, FREE_VARIABLE)))
+    return ConjunctiveQuery(atoms, (FREE_VARIABLE,))
+
+
+def subsets_containing(
+    pool: Iterable[Element],
+    anchor: Element,
+    max_size: int,
+) -> "Iterable[FrozenSet[Element]]":
+    """All subsets of *pool* ∪ {anchor} of size ≤ *max_size* containing
+    *anchor*, enumerated without repetition (anchor excluded from pool).
+
+    The enumeration is depth-first over a sorted pool, so it is
+    deterministic.
+    """
+    others = sorted((e for e in pool if e != anchor), key=str)
+    chosen: List[Element] = []
+
+    def walk(start: int, remaining: int):
+        yield frozenset([anchor, *chosen])
+        if remaining == 0:
+            return
+        for index in range(start, len(others)):
+            chosen.append(others[index])
+            yield from walk(index + 1, remaining - 1)
+            chosen.pop()
+
+    yield from walk(0, max_size - 1)
+
+
+def connected_subsets_containing(
+    structure: Structure,
+    anchor: Element,
+    max_size: int,
+    relation_names: "Optional[Iterable[str]]" = None,
+) -> "Iterable[FrozenSet[Element]]":
+    """Connected subsets of the non-constant elements containing *anchor*.
+
+    Two non-constant elements are adjacent when they co-occur in a fact
+    (of an allowed relation); constants never connect anything — in a
+    query, constants are fixed pins, so components joined only through
+    a constant are independently satisfiable.  Enumerating connected
+    subsets (instead of all subsets) is exactly what the positive-type
+    machinery needs; see :mod:`repro.ptypes.ptype` for the argument.
+
+    Uses the standard extension enumeration: a subset is grown only
+    through neighbours of its members, and elements already *declined*
+    at an earlier branch are excluded, so each subset appears once.
+    """
+    allowed = frozenset(relation_names) if relation_names is not None else None
+
+    def neighbours(element: Element) -> "List[Element]":
+        found = set()
+        for fact in structure.facts_about(element):
+            if allowed is not None and fact.pred not in allowed:
+                continue
+            for arg in fact.args:
+                if arg != element and not isinstance(arg, Constant):
+                    found.add(arg)
+        return sorted(found, key=str)
+
+    # The anchor itself is always connectable — even when it is a
+    # constant: in the canonical query the distinguished element becomes
+    # the *variable* y, so connectivity through it is real connectivity.
+    # All other constants stay cuts (they are pins in the query).
+    chosen: List[Element] = [anchor]
+    banned: Set[Element] = {anchor}
+
+    def frontier() -> List[Element]:
+        found = set()
+        for member in chosen:
+            for neighbour in neighbours(member):
+                if neighbour not in banned:
+                    found.add(neighbour)
+        return sorted(found, key=str)
+
+    def walk(remaining: int):
+        yield frozenset(chosen)
+        if remaining == 0:
+            return
+        candidates = frontier()
+        declined: List[Element] = []
+        for candidate in candidates:
+            chosen.append(candidate)
+            banned.add(candidate)
+            yield from walk(remaining - 1)
+            chosen.pop()
+            declined.append(candidate)
+        for candidate in declined:
+            banned.discard(candidate)
+
+    yield from walk(max_size - 1)
+
+
+def canonical_label(structure: Structure) -> str:
+    """A string invariant under isomorphisms fixing the constants.
+
+    Non-constant elements are assigned indices; the label is the
+    lexicographically least rendering of the fact set over all
+    assignments.  Exponential in the number of non-constant elements —
+    fine for the paper's use (``P(e) ∪ C_con`` has at most two
+    non-constant elements in a VTDAG skeleton, Definition 10/11).
+    """
+    nonconstants = sorted(structure.nonconstant_elements(), key=str)
+    if len(nonconstants) > 7:
+        raise ValueError(
+            f"canonical_label is exponential; got {len(nonconstants)} "
+            "non-constant elements (max 7)"
+        )
+
+    def render(order: Sequence[Element]) -> str:
+        table = {element: f"#{i}" for i, element in enumerate(order)}
+        lines = []
+        for fact in structure.facts():
+            args = ",".join(
+                table.get(arg, str(arg)) if not isinstance(arg, Constant) else f"c:{arg}"
+                for arg in fact.args
+            )
+            lines.append(f"{fact.pred}({args})")
+        lines.sort()
+        return ";".join(lines)
+
+    if not nonconstants:
+        return render(())
+    return min(render(order) for order in permutations(nonconstants))
+
+
+def isomorphic_over_constants(left: Structure, right: Structure) -> bool:
+    """Isomorphism fixing every constant, via canonical labels.
+
+    The two structures must have the same constant elements (otherwise
+    they are trivially non-isomorphic over constants).
+    """
+    if left.constant_elements() != right.constant_elements():
+        return False
+    if left.domain_size != right.domain_size or len(left.facts()) != len(right.facts()):
+        return False
+    return canonical_label(left) == canonical_label(right)

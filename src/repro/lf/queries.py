@@ -1,0 +1,309 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+Throughout the paper "query" means a conjunctive query (CQ) without
+negation, and the rewriting Ψ′ of Definition 2 is a union of conjunctive
+queries (UCQ).  Free variables that are omitted are read as existentially
+quantified (Section 1.1); we mirror that by allowing a CQ to designate
+any subset of its variables as *free* and treating the rest as
+existential.
+
+Queries are immutable; transformations return new queries.  Equality of
+queries is syntactic up to atom-set equality; :meth:`ConjunctiveQuery.canonical`
+produces a representative that is stable under variable renaming, which
+is what the rewriting engine uses for de-duplication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .atoms import Atom, atoms_constants, atoms_variables
+from .terms import Constant, Term, Variable
+
+
+def _atom_sort_key(item: Atom) -> Tuple[str, Tuple[str, ...]]:
+    return (item.pred, tuple(str(arg) for arg in item.args))
+
+
+class ConjunctiveQuery:
+    """A conjunctive query: a finite conjunction of atoms.
+
+    Parameters
+    ----------
+    atoms:
+        The atoms of the query.  Duplicates are removed.
+    free:
+        The designated free variables, in order.  Every free variable
+        must occur in some atom (or be constrained by an equality atom).
+
+    Notes
+    -----
+    The paper's positive types (Definition 3) allow equality atoms of
+    the form ``x = c``; these are represented as atoms with the reserved
+    predicate ``"="`` and participate in evaluation.
+    """
+
+    __slots__ = ("_atoms", "_free", "_hash")
+
+    def __init__(self, atoms: Iterable[Atom], free: Sequence[Variable] = ()):
+        unique = sorted(set(atoms), key=_atom_sort_key)
+        self._atoms: Tuple[Atom, ...] = tuple(unique)
+        self._free: Tuple[Variable, ...] = tuple(free)
+        if len(set(self._free)) != len(self._free):
+            raise ValueError("repeated free variable")
+        all_vars = atoms_variables(self._atoms)
+        for var in self._free:
+            if var not in all_vars:
+                raise ValueError(f"free variable {var} does not occur in the query")
+        self._hash = hash((frozenset(self._atoms), self._free))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The atoms, deterministically ordered."""
+        return self._atoms
+
+    @property
+    def free(self) -> Tuple[Variable, ...]:
+        """The free variables, in declared order."""
+        return self._free
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the query."""
+        return atoms_variables(self._atoms)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Variables that are not free (read as ∃-quantified)."""
+        return self.variables() - frozenset(self._free)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants of the query."""
+        return atoms_constants(self._atoms)
+
+    @property
+    def width(self) -> int:
+        """Total number of distinct variables.
+
+        Positive ``n``-types (Definition 3) collect queries ``Ψ(x̄, y)``
+        with ``|x̄| < n``, i.e. with at most ``n`` variables in total
+        when ``y`` is counted; ``width`` is that total count.
+        """
+        return len(self.variables())
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has no free variables."""
+        return not self._free
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Predicates used by the query (equality excluded)."""
+        return frozenset(a.pred for a in self._atoms if not a.is_equality)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Dict[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution; free variables mapped to variables stay
+        free (renamed), those mapped to constants are dropped from the
+        free tuple."""
+        new_atoms = [a.substitute(mapping) for a in self._atoms]
+        new_free: List[Variable] = []
+        for var in self._free:
+            image = mapping.get(var, var)
+            if isinstance(image, Variable) and image not in new_free:
+                new_free.append(image)
+        return ConjunctiveQuery(new_atoms, new_free)
+
+    def with_free(self, free: Sequence[Variable]) -> "ConjunctiveQuery":
+        """Same atoms, different choice of free variables."""
+        return ConjunctiveQuery(self._atoms, free)
+
+    def boolean(self) -> "ConjunctiveQuery":
+        """Existentially close all variables."""
+        return ConjunctiveQuery(self._atoms, ())
+
+    def conjoin(self, other: "ConjunctiveQuery") -> "ConjunctiveQuery":
+        """Conjunction of two queries (free variables concatenated,
+        duplicates removed, order preserved)."""
+        free = list(self._free)
+        for var in other._free:
+            if var not in free:
+                free.append(var)
+        return ConjunctiveQuery(self._atoms + other._atoms, free)
+
+    def rename_apart(self, taken: Iterable[Variable], stem: str = "r") -> "ConjunctiveQuery":
+        """Rename variables so they avoid *taken* (for resolution steps)."""
+        forbidden = {v.name for v in taken}
+        mapping: Dict[Variable, Variable] = {}
+        counter = 0
+        for var in sorted(self.variables()):
+            if var.name in forbidden:
+                while f"{stem}{counter}" in forbidden:
+                    counter += 1
+                fresh = Variable(f"{stem}{counter}")
+                counter += 1
+                forbidden.add(fresh.name)
+                mapping[var] = fresh
+        if not mapping:
+            return self
+        return self.substitute(dict(mapping))
+
+    def canonical(self) -> "ConjunctiveQuery":
+        """A renaming-invariant representative.
+
+        Variables are renamed by first occurrence in the deterministic
+        atom order; free variables get names ``f0, f1, ...`` (keeping
+        their declared order), existential ones ``v0, v1, ...``.  Two
+        queries equal up to variable renaming have equal canonical
+        forms *provided* the renaming respects the atom ordering — this
+        is a cheap sound (never merges distinct queries) but incomplete
+        normal form; the rewriting engine supplements it with
+        homomorphic-equivalence checks.
+        """
+        mapping: Dict[Variable, Variable] = {}
+        for index, var in enumerate(self._free):
+            mapping[var] = Variable(f"f{index}")
+        counter = 0
+        for item in self._atoms:
+            for arg in item.args:
+                if isinstance(arg, Variable) and arg not in mapping:
+                    mapping[arg] = Variable(f"v{counter}")
+                    counter += 1
+        # Renaming may change the atom sort order, which may enable a
+        # better (smaller) renaming; iterate to a fixpoint.
+        current = self.substitute(mapping)
+        for _ in range(3):
+            mapping = {}
+            for index, var in enumerate(current._free):
+                mapping[var] = Variable(f"f{index}")
+            counter = 0
+            for item in current._atoms:
+                for arg in item.args:
+                    if isinstance(arg, Variable) and arg not in mapping:
+                        mapping[arg] = Variable(f"v{counter}")
+                        counter += 1
+            renamed = current.substitute(mapping)
+            if renamed == current:
+                break
+            current = renamed
+        return current
+
+    # ------------------------------------------------------------------
+    # Identity and presentation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            frozenset(self._atoms) == frozenset(other._atoms)
+            and self._free == other._free
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        body = " & ".join(str(a) for a in self._atoms) or "true"
+        if self._free:
+            head = ", ".join(str(v) for v in self._free)
+            return f"({head}) <- {body}"
+        return body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CQ[{self}]"
+
+
+class UnionOfConjunctiveQueries:
+    """A finite union (disjunction) of conjunctive queries.
+
+    All disjuncts must agree on their free-variable tuple length; the
+    free variables of the union are those of the first disjunct (each
+    disjunct is rewritten to use them).
+    """
+
+    __slots__ = ("_disjuncts", "_free")
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery]):
+        pool = list(disjuncts)
+        if not pool:
+            self._disjuncts: Tuple[ConjunctiveQuery, ...] = ()
+            self._free: Tuple[Variable, ...] = ()
+            return
+        lead = pool[0]
+        aligned: List[ConjunctiveQuery] = []
+        for cq in pool:
+            if len(cq.free) != len(lead.free):
+                raise ValueError("disjuncts disagree on the number of free variables")
+            if cq.free != lead.free:
+                cq = cq.substitute(dict(zip(cq.free, lead.free)))
+            aligned.append(cq)
+        unique: List[ConjunctiveQuery] = []
+        seen = set()
+        for cq in aligned:
+            marker = cq.canonical()
+            if marker not in seen:
+                seen.add(marker)
+                unique.append(cq)
+        self._disjuncts = tuple(unique)
+        self._free = lead.free
+
+    @property
+    def disjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        """The disjuncts (de-duplicated up to canonical renaming)."""
+        return self._disjuncts
+
+    @property
+    def free(self) -> Tuple[Variable, ...]:
+        """The shared free-variable tuple."""
+        return self._free
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables across disjuncts."""
+        seen = set()
+        for cq in self._disjuncts:
+            seen.update(cq.variables())
+        return frozenset(seen)
+
+    @property
+    def max_width(self) -> int:
+        """Largest number of variables in any disjunct.
+
+        This is the quantity the paper calls ``|Var(Ψ′)|`` when defining
+        κ in Section 3.3.
+        """
+        return max((cq.width for cq in self._disjuncts), default=0)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionOfConjunctiveQueries):
+            return NotImplemented
+        mine = {cq.canonical() for cq in self._disjuncts}
+        theirs = {cq.canonical() for cq in other._disjuncts}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(cq.canonical() for cq in self._disjuncts))
+
+    def __str__(self) -> str:
+        return " | ".join(f"({cq})" for cq in self._disjuncts) or "false"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UCQ[{self}]"
+
+
+def cq(atoms: Iterable[Atom], free: Sequence[Variable] = ()) -> ConjunctiveQuery:
+    """Convenience constructor for :class:`ConjunctiveQuery`."""
+    return ConjunctiveQuery(atoms, free)

@@ -1,0 +1,196 @@
+"""Signatures: relation symbols with arities, plus named constants.
+
+The paper works over finite signatures ``Σ`` consisting of relation
+names (unary and binary in the main development) and constants.  Two
+operations on signatures recur throughout:
+
+* enlarging a signature with *colors* (unary predicates ``K_h^l``,
+  Definitions 6–7) or with names for the elements of a database
+  (Section 3.2, "we prefer the elements of D to be named");
+* restricting a structure to a sub-signature, written ``C ↾ Σ``.
+
+:class:`Signature` is immutable; enlargement returns new signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from ..errors import ArityError, NotBinaryError, SignatureError
+from .atoms import EQUALITY, Atom
+from .terms import Constant
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An immutable relational signature.
+
+    Attributes
+    ----------
+    relations:
+        Mapping from relation name to arity (stored as a sorted tuple of
+        pairs so the dataclass stays hashable).
+    constants:
+        The named constants of the signature.
+    """
+
+    _relations: Tuple[Tuple[str, int], ...] = field(default=())
+    constants: FrozenSet[Constant] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make(
+        relations: "Mapping[str, int] | Iterable[Tuple[str, int]]" = (),
+        constants: Iterable[Constant] = (),
+    ) -> "Signature":
+        """Build a signature from a relation→arity mapping and constants."""
+        if isinstance(relations, Mapping):
+            pairs = tuple(sorted(relations.items()))
+        else:
+            pairs = tuple(sorted(relations))
+        names = [name for name, _ in pairs]
+        if len(names) != len(set(names)):
+            raise SignatureError("duplicate relation name in signature")
+        for name, arity in pairs:
+            if name == EQUALITY:
+                raise SignatureError("'=' is reserved for equality atoms")
+            if arity < 0:
+                raise SignatureError(f"negative arity for {name}")
+        return Signature(pairs, frozenset(constants))
+
+    @staticmethod
+    def of_atoms(atoms: Iterable[Atom]) -> "Signature":
+        """Infer a signature from a set of atoms (facts or rule atoms).
+
+        Equality atoms contribute no relation; constants occurring in
+        the atoms become signature constants.
+        """
+        relations: Dict[str, int] = {}
+        constants = set()
+        for item in atoms:
+            constants.update(item.constants())
+            if item.is_equality:
+                continue
+            known = relations.get(item.pred)
+            if known is None:
+                relations[item.pred] = item.arity
+            elif known != item.arity:
+                raise ArityError(
+                    f"{item.pred} used with arities {known} and {item.arity}"
+                )
+        return Signature.make(relations, constants)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> Dict[str, int]:
+        """Relation name → arity, as a fresh dict."""
+        return dict(self._relations)
+
+    def relation_names(self) -> FrozenSet[str]:
+        """The set of relation names."""
+        return frozenset(name for name, _ in self._relations)
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name*.
+
+        Raises
+        ------
+        SignatureError
+            If the relation is not part of the signature.
+        """
+        for known, arity in self._relations:
+            if known == name:
+                return arity
+        raise SignatureError(f"unknown relation: {name}")
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, Constant):
+            return name in self.constants
+        return any(known == name for known, _ in self._relations)
+
+    def unary_relations(self) -> FrozenSet[str]:
+        """Names of the unary relations."""
+        return frozenset(name for name, arity in self._relations if arity == 1)
+
+    def binary_relations(self) -> FrozenSet[str]:
+        """Names of the binary relations."""
+        return frozenset(name for name, arity in self._relations if arity == 2)
+
+    @property
+    def max_arity(self) -> int:
+        """Largest arity (0 for an empty signature)."""
+        return max((arity for _, arity in self._relations), default=0)
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether every relation has arity at most 2.
+
+        This is the sense of "binary signature" used throughout the
+        paper (Section 2.7): binary and unary relations plus constants.
+        """
+        return self.max_arity <= 2
+
+    def require_binary(self) -> "Signature":
+        """Return ``self``; raise :class:`NotBinaryError` if not binary."""
+        if not self.is_binary:
+            offenders = [n for n, a in self._relations if a > 2]
+            raise NotBinaryError(f"relations of arity > 2: {offenders}")
+        return self
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def with_relations(
+        self, extra: "Mapping[str, int] | Iterable[Tuple[str, int]]"
+    ) -> "Signature":
+        """Return an enlarged signature; arities must agree on overlap."""
+        merged = self.relations
+        items = extra.items() if isinstance(extra, Mapping) else extra
+        for name, arity in items:
+            known = merged.get(name)
+            if known is not None and known != arity:
+                raise ArityError(f"{name}: arity {known} vs {arity}")
+            merged[name] = arity
+        return Signature.make(merged, self.constants)
+
+    def with_constants(self, extra: Iterable[Constant]) -> "Signature":
+        """Return a signature enlarged with more named constants."""
+        return Signature.make(self.relations, self.constants | frozenset(extra))
+
+    def union(self, other: "Signature") -> "Signature":
+        """Least signature containing both operands."""
+        return self.with_relations(other._relations).with_constants(other.constants)
+
+    def restrict_to(self, names: Iterable[str]) -> "Signature":
+        """Keep only the relations whose name is in *names* (constants kept)."""
+        wanted = set(names)
+        kept = {name: arity for name, arity in self._relations if name in wanted}
+        return Signature.make(kept, self.constants)
+
+    def without_relations(self, names: Iterable[str]) -> "Signature":
+        """Drop the relations whose name is in *names*."""
+        dropped = set(names)
+        kept = {n: a for n, a in self._relations if n not in dropped}
+        return Signature.make(kept, self.constants)
+
+    def fresh_relation_name(self, stem: str) -> str:
+        """Return *stem* or ``stem_k`` for the least ``k`` avoiding clashes."""
+        if stem not in self:
+            return stem
+        k = 0
+        while f"{stem}_{k}" in self:
+            k += 1
+        return f"{stem}_{k}"
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        rels = ", ".join(f"{name}/{arity}" for name, arity in self._relations)
+        cons = ", ".join(sorted(str(c) for c in self.constants))
+        return f"Signature({rels}; constants: {cons})"

@@ -1,0 +1,298 @@
+"""Relational structures (database instances).
+
+A :class:`Structure` is a finite set of facts over a signature, plus a
+domain that may include isolated elements.  Following the paper's
+conventions (Section 1.1, Notations):
+
+* ``C |= R(ā)`` — fact membership — is :meth:`Structure.has_fact`;
+* ``C1 |= C2`` — every atom of C2 is an atom of C1 — is
+  :meth:`Structure.contains_structure`;
+* ``C ↾ A`` (restriction to a set of elements) and ``C ↾ Σ``
+  (restriction to a signature) are :meth:`restrict_elements` and
+  :meth:`restrict_signature`;
+* ``C_con`` / ``C_non`` — the constant and non-constant elements — are
+  :meth:`constant_elements` and :meth:`nonconstant_elements`.
+
+The structure maintains hash indexes per predicate and per
+(predicate, position, element), which the homomorphism engine and the
+chase use to find candidate matches in roughly constant time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import ArityError, SignatureError
+from .atoms import Atom
+from .signature import Signature
+from .terms import Constant, Element, Null, Variable
+
+
+class Structure:
+    """A mutable finite relational structure.
+
+    Parameters
+    ----------
+    facts:
+        Initial facts (ground atoms).
+    domain:
+        Extra elements that should belong to the domain even if they
+        occur in no fact.
+    signature:
+        The ambient signature.  When omitted it is inferred from the
+        facts and grows automatically as new predicates appear.
+    strict:
+        When ``True``, adding a fact whose predicate is not in the
+        signature (or has the wrong arity) raises instead of enlarging.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        domain: Iterable[Element] = (),
+        signature: Optional[Signature] = None,
+        strict: bool = False,
+    ):
+        self._facts: Set[Atom] = set()
+        self._domain: Set[Element] = set(domain)
+        self._by_pred: Dict[str, Set[Atom]] = {}
+        self._by_pred_pos: Dict[Tuple[str, int, Element], Set[Atom]] = {}
+        self._strict = strict
+        self._signature = signature if signature is not None else Signature.make()
+        for fact in facts:
+            self.add_fact(fact)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_fact(self, fact: Atom) -> bool:
+        """Insert *fact*; return ``True`` iff it was new.
+
+        Every argument of the fact joins the domain.  Variables are
+        rejected: facts are ground.
+        """
+        for arg in fact.args:
+            if isinstance(arg, Variable):
+                raise ValueError(f"fact {fact} contains a variable")
+        if fact in self._facts:
+            return False
+        self._check_signature(fact)
+        self._facts.add(fact)
+        self._by_pred.setdefault(fact.pred, set()).add(fact)
+        for position, arg in enumerate(fact.args):
+            self._domain.add(arg)
+            self._by_pred_pos.setdefault((fact.pred, position, arg), set()).add(fact)
+        return True
+
+    def add_facts(self, facts: Iterable[Atom]) -> int:
+        """Insert many facts; return how many were new."""
+        return sum(1 for fact in facts if self.add_fact(fact))
+
+    def add_element(self, element: Element) -> None:
+        """Add an element to the domain (it may occur in no fact)."""
+        self._domain.add(element)
+
+    def discard_fact(self, fact: Atom) -> bool:
+        """Remove *fact* if present; return ``True`` iff it was there.
+
+        Elements are never removed from the domain (the paper's
+        restriction operators build new structures instead).
+        """
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_pred.get(fact.pred, set()).discard(fact)
+        for position, arg in enumerate(fact.args):
+            bucket = self._by_pred_pos.get((fact.pred, position, arg))
+            if bucket is not None:
+                bucket.discard(fact)
+        return True
+
+    def _check_signature(self, fact: Atom) -> None:
+        if fact.pred in self._signature:
+            if self._signature.arity(fact.pred) != fact.arity:
+                raise ArityError(
+                    f"{fact.pred} has arity {self._signature.arity(fact.pred)}, "
+                    f"got {fact.arity}"
+                )
+        elif self._strict:
+            raise SignatureError(f"unknown predicate {fact.pred} (strict mode)")
+        else:
+            self._signature = self._signature.with_relations({fact.pred: fact.arity})
+        new_constants = [c for c in fact.constants() if c not in self._signature.constants]
+        if new_constants:
+            self._signature = self._signature.with_constants(new_constants)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> Signature:
+        """The (possibly grown) ambient signature."""
+        return self._signature
+
+    def facts(self) -> FrozenSet[Atom]:
+        """All facts, as a frozen set."""
+        return frozenset(self._facts)
+
+    def domain(self) -> FrozenSet[Element]:
+        """All domain elements."""
+        return frozenset(self._domain)
+
+    def __len__(self) -> int:
+        """Number of facts (use :meth:`domain_size` for elements)."""
+        return len(self._facts)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of domain elements."""
+        return len(self._domain)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def has_fact(self, fact: Atom) -> bool:
+        """The paper's ``C |= R(ā)`` for a ground atom."""
+        return fact in self._facts
+
+    __contains__ = has_fact
+
+    def has_element(self, element: Element) -> bool:
+        """Whether *element* belongs to the domain."""
+        return element in self._domain
+
+    def facts_with_pred(self, pred: str) -> FrozenSet[Atom]:
+        """All facts of the given predicate."""
+        return frozenset(self._by_pred.get(pred, ()))
+
+    def facts_with(self, pred: str, position: int, element: Element) -> FrozenSet[Atom]:
+        """All facts ``pred(... element ...)`` with *element* at *position*."""
+        return frozenset(self._by_pred_pos.get((pred, position, element), ()))
+
+    def facts_about(self, element: Element) -> FrozenSet[Atom]:
+        """All facts mentioning *element* in any position."""
+        found: Set[Atom] = set()
+        for pred, arity in self._signature.relations.items():
+            for position in range(arity):
+                found.update(self._by_pred_pos.get((pred, position, element), ()))
+        return frozenset(found)
+
+    def predicates_in_use(self) -> FrozenSet[str]:
+        """Predicates with at least one fact."""
+        return frozenset(pred for pred, bucket in self._by_pred.items() if bucket)
+
+    # ------------------------------------------------------------------
+    # Graph view (binary signatures)
+    # ------------------------------------------------------------------
+    def successors(self, element: Element, pred: Optional[str] = None) -> FrozenSet[Element]:
+        """Elements ``d`` with ``pred(element, d)`` (any binary pred if None)."""
+        preds = [pred] if pred is not None else sorted(self._signature.binary_relations())
+        found: Set[Element] = set()
+        for name in preds:
+            for fact in self._by_pred_pos.get((name, 0, element), ()):
+                if fact.arity == 2:
+                    found.add(fact.args[1])
+        return frozenset(found)
+
+    def predecessors(self, element: Element, pred: Optional[str] = None) -> FrozenSet[Element]:
+        """Elements ``d`` with ``pred(d, element)`` (any binary pred if None)."""
+        preds = [pred] if pred is not None else sorted(self._signature.binary_relations())
+        found: Set[Element] = set()
+        for name in preds:
+            for fact in self._by_pred_pos.get((name, 1, element), ()):
+                if fact.arity == 2:
+                    found.add(fact.args[0])
+        return frozenset(found)
+
+    def neighbours(self, element: Element) -> FrozenSet[Element]:
+        """Elements sharing a fact with *element* (any arity)."""
+        found: Set[Element] = set()
+        for fact in self.facts_about(element):
+            found.update(arg for arg in fact.args if arg != element)
+        return frozenset(found)
+
+    def degree(self, element: Element) -> int:
+        """Number of facts mentioning *element* (Lemma 3(iv)'s measure)."""
+        return len(self.facts_about(element))
+
+    # ------------------------------------------------------------------
+    # Paper notation: C_con, C_non, restrictions, containment
+    # ------------------------------------------------------------------
+    def constant_elements(self) -> FrozenSet[Constant]:
+        """``C_con``: domain elements that are (interpretations of) constants."""
+        return frozenset(e for e in self._domain if isinstance(e, Constant))
+
+    def nonconstant_elements(self) -> FrozenSet[Element]:
+        """``C_non``: domain elements that are not constants."""
+        return frozenset(e for e in self._domain if not isinstance(e, Constant))
+
+    def restrict_elements(self, elements: Iterable[Element]) -> "Structure":
+        """``C ↾ A``: the facts whose arguments all lie in *elements*.
+
+        The new structure's domain is exactly ``A ∩ Dom(C)``.
+        """
+        wanted = set(elements) & self._domain
+        kept = [f for f in self._facts if all(a in wanted for a in f.args)]
+        return Structure(kept, domain=wanted, signature=self._signature)
+
+    def restrict_signature(self, names: Iterable[str]) -> "Structure":
+        """``C ↾ Σ``: keep only facts of the given relations.
+
+        The domain is preserved in full, matching the paper's use where
+        ``C̄ ↾ Σ = C`` strips colors without losing elements (Def. 7).
+        """
+        wanted = set(names)
+        kept = [f for f in self._facts if f.pred in wanted]
+        return Structure(
+            kept,
+            domain=self._domain,
+            signature=self._signature.restrict_to(wanted),
+        )
+
+    def contains_structure(self, other: "Structure") -> bool:
+        """The paper's ``C1 |= C2``: every fact of *other* is a fact here."""
+        return all(fact in self._facts for fact in other._facts)
+
+    def same_facts(self, other: "Structure") -> bool:
+        """Fact-set equality (ignores isolated domain elements)."""
+        return self._facts == other._facts
+
+    # ------------------------------------------------------------------
+    # Query satisfaction (delegates to the homomorphism engine)
+    # ------------------------------------------------------------------
+    def satisfies(self, query, binding: Optional[Dict[Variable, Element]] = None) -> bool:
+        """``C |= ∃x̄ Φ(x̄)`` for a conjunctive query, under *binding*.
+
+        Free variables not in *binding* are treated as existentially
+        quantified, matching the paper's convention (Section 1.1).
+        """
+        from .homomorphism import satisfies as _satisfies
+
+        return _satisfies(self, query, binding)
+
+    # ------------------------------------------------------------------
+    # Copying and presentation
+    # ------------------------------------------------------------------
+    def copy(self) -> "Structure":
+        """An independent copy with the same facts, domain and signature."""
+        return Structure(self._facts, domain=self._domain, signature=self._signature)
+
+    def sorted_facts(self) -> List[Atom]:
+        """Facts in a deterministic order (for display and hashing)."""
+        return sorted(self._facts, key=lambda f: (f.pred, tuple(map(str, f.args))))
+
+    def __str__(self) -> str:
+        shown = ", ".join(str(f) for f in self.sorted_facts()[:12])
+        suffix = ", ..." if len(self._facts) > 12 else ""
+        return f"Structure({len(self._facts)} facts, {len(self._domain)} elements: {shown}{suffix})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return self._facts == other._facts and self._domain == other._domain
+
+    def __hash__(self) -> int:  # structures are mutable; identity hashing
+        return id(self)

@@ -1,0 +1,60 @@
+"""Positive first-order (UCQ) rewriting — the BDD machinery.
+
+Quick tour
+----------
+>>> from repro.lf import parse_theory, parse_query
+>>> from repro.rewriting import rewrite, kappa
+>>> theory = parse_theory('''
+... E(x,y) -> exists z. E(y,z)
+... E(x,y), E(x2,y) -> R(x,x2)
+... ''')
+>>> result = rewrite(parse_query("R(x,y)", free=["x", "y"]), theory)
+>>> result.saturated
+True
+"""
+
+from .bdd import (
+    BDDProfile,
+    RuleRewriting,
+    answer_by_rewriting,
+    answers_by_rewriting,
+    bdd_profile,
+    is_bdd_for,
+    kappa,
+    rewrite_query,
+)
+from .rewriter import RewriteConfig, RewritingResult, rewrite
+from .subsume import (
+    cq_equivalent,
+    cq_subsumes,
+    freeze,
+    minimize_ucq,
+    normalize_equalities,
+    ucq_equivalent,
+    ucq_subsumes,
+)
+from .unify import Unifier, mgu, unify_all
+
+__all__ = [
+    "BDDProfile",
+    "RewriteConfig",
+    "RewritingResult",
+    "RuleRewriting",
+    "Unifier",
+    "answer_by_rewriting",
+    "answers_by_rewriting",
+    "bdd_profile",
+    "cq_equivalent",
+    "cq_subsumes",
+    "freeze",
+    "is_bdd_for",
+    "kappa",
+    "mgu",
+    "minimize_ucq",
+    "normalize_equalities",
+    "rewrite",
+    "rewrite_query",
+    "ucq_equivalent",
+    "ucq_subsumes",
+    "unify_all",
+]

@@ -1,0 +1,353 @@
+"""Piece-wise UCQ rewriting: the executable face of BDD.
+
+Definition 2 of the paper: ``T`` is BDD iff every query Φ has a UCQ
+rewriting Φ′ with ``T, D ⊨ Φ ⟺ D ⊨ Φ′`` for all D.  This module
+computes Φ′ by the classical resolution-style procedure (PerfectRef /
+XRewrite family) for single-head rules:
+
+* **rewriting step** — an atom α of a disjunct is resolved against a
+  rule head, replacing α by the (renamed) rule body, subject to the
+  applicability condition on existential variables: the term unified
+  with an existential variable must be a variable occurring nowhere
+  else in the query and not free;
+
+* **factorisation step** — two atoms with the same predicate are
+  unified into one, which can enable a rewriting step that the
+  applicability condition would otherwise block (needed e.g. for the
+  paper's Example 7 theory, where ``E(x,y) ∧ E(x',y)`` must be
+  factorised before the TGD ``E(x,y) ⇒ ∃z E(y,z)`` can resolve).
+
+Saturation of this procedure is a *certificate* that the input query is
+FO-rewritable under T; exhaustion of the step budget leaves the status
+unknown (BDD is undecidable, so a budget is unavoidable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import RewritingBudgetExceeded, RuleError
+from ..lf.atoms import Atom
+from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..lf.rules import Rule, Theory
+from ..lf.terms import Constant, Term, Variable
+from .subsume import cq_subsumes, minimize_ucq, normalize_equalities
+from .unify import Unifier
+
+
+@dataclass
+class RewriteConfig:
+    """Budgets and switches for the rewriting engine.
+
+    Attributes
+    ----------
+    max_steps:
+        Maximum number of (rewriting + factorisation) step applications.
+    max_queries:
+        Maximum number of distinct disjuncts generated.
+    factorize:
+        Enable the factorisation step (needed for completeness; can be
+        switched off for ablation experiments).
+    eager_subsumption:
+        Prune a freshly generated disjunct that is contained in an
+        already-kept one.  Keeps the closure small; the final result is
+        minimised regardless.
+    on_budget:
+        ``"raise"`` (default) raises
+        :class:`~repro.errors.RewritingBudgetExceeded`; ``"return"``
+        stops quietly with ``saturated=False``.
+    """
+
+    max_steps: int = 20_000
+    max_queries: int = 2_000
+    factorize: bool = True
+    eager_subsumption: bool = True
+    on_budget: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_budget not in ("raise", "return"):
+            raise ValueError("on_budget must be 'raise' or 'return'")
+
+
+@dataclass
+class RewritingResult:
+    """Outcome of a rewriting run.
+
+    Attributes
+    ----------
+    ucq:
+        The rewriting computed so far (complete iff ``saturated``).
+    saturated:
+        ``True`` iff the closure was reached: the UCQ is a certified
+        positive first-order rewriting of the input query under the
+        theory (witnessing Definition 2 for this query).
+    steps:
+        Number of step applications performed.
+    generated:
+        Number of distinct disjuncts ever generated (pre-minimisation).
+    depth_bound:
+        The paper's constant ``k_Ψ``, certified: each disjunct records
+        how many resolution steps produced it, and a database match of
+        a disjunct at resolution depth d yields the original query
+        within d chase rounds.  Hence ``Chase(D,T) ⊨ Ψ`` implies
+        ``Chase^{depth_bound}(D,T) ⊨ Ψ`` — the standard definition of
+        BDD from Section 1.1, made effective.  (Factorisation steps do
+        not count: a factored match *is* a match of its parent.)
+    """
+
+    ucq: UnionOfConjunctiveQueries
+    saturated: bool
+    steps: int
+    generated: int
+    depth_bound: int = 0
+
+    @property
+    def max_width(self) -> int:
+        """Largest variable count among disjuncts (κ's ingredient)."""
+        return self.ucq.max_width
+
+    def __str__(self) -> str:
+        status = "saturated" if self.saturated else "budget-exhausted"
+        return (
+            f"RewritingResult({status}, {len(self.ucq)} disjuncts, "
+            f"{self.steps} steps, max width {self.max_width})"
+        )
+
+
+def _rename_rule_apart(rule: Rule, query: ConjunctiveQuery, counter: int) -> Rule:
+    """Rename *rule* so its variables are disjoint from the query's."""
+    taken = query.variables() | {Variable(f"w{counter}")}
+    return rule.rename_apart(taken, stem=f"w{counter}_")
+
+
+def _applicable(
+    unifier: Unifier,
+    rule: Rule,
+    target: Atom,
+    query: ConjunctiveQuery,
+) -> bool:
+    """The applicability condition for existential variables.
+
+    For each existential variable ``z`` of the (renamed) rule, the
+    unification class of ``z`` may contain, besides ``z`` itself, only
+    query variables that occur in the query *exclusively inside the
+    resolved atom* and are not free.  Constants, free variables,
+    rule-frontier variables, shared query variables, and other
+    existential variables in the class all block the step — the witness
+    produced by the chase is a fresh null that cannot coincide with any
+    of those.
+    """
+    occurrences: Dict[Variable, int] = {}
+    inside_target: Dict[Variable, int] = {}
+    for item in query.atoms:
+        for arg in item.args:
+            if isinstance(arg, Variable):
+                occurrences[arg] = occurrences.get(arg, 0) + 1
+                if item == target:
+                    inside_target[arg] = inside_target.get(arg, 0) + 1
+    free = set(query.free)
+    existentials = rule.existential_variables()
+    query_vars = query.variables()
+
+    for z in existentials:
+        for member in unifier.class_of(z):
+            if member == z:
+                continue
+            if isinstance(member, Constant):
+                return False
+            if member in existentials:
+                return False  # two distinct witnesses forced equal
+            if member in query_vars:
+                if member in free:
+                    return False
+                if occurrences.get(member, 0) != inside_target.get(member, 0):
+                    return False  # occurs elsewhere in the query
+            else:
+                return False  # a universal variable of the rule
+    return True
+
+
+def _rewriting_step(
+    query: ConjunctiveQuery,
+    target: Atom,
+    rule: Rule,
+) -> "Optional[ConjunctiveQuery]":
+    """Resolve *target* (an atom of *query*) against *rule*'s head.
+
+    Returns the rewritten query, or ``None`` when unification fails or
+    the applicability condition blocks the step.
+    """
+    head = rule.head_atom
+    unifier = Unifier()
+    if not unifier.unify_atoms(target, head):
+        return None
+    if rule.is_existential and not _applicable(unifier, rule, target, query):
+        return None
+    # Prefer free variables as class representatives, then other query
+    # variables, so substitution keeps the query's schema readable.
+    substitution = unifier.substitution(
+        prefer=tuple(query.free) + tuple(sorted(query.variables() - set(query.free)))
+    )
+    new_atoms = [
+        atom.substitute(substitution)  # type: ignore[arg-type]
+        for atom in query.atoms
+        if atom != target
+    ]
+    new_atoms.extend(
+        atom.substitute(substitution) for atom in rule.body  # type: ignore[arg-type]
+    )
+    _protect_free_variables(query, substitution, new_atoms)
+    return ConjunctiveQuery(new_atoms, query.free)
+
+
+def _protect_free_variables(
+    query: ConjunctiveQuery,
+    substitution: Dict[Variable, Term],
+    new_atoms: List[Atom],
+) -> None:
+    """Keep the free-variable schema stable across a substitution.
+
+    When a free variable's image under *substitution* differs from
+    itself (it was merged with a constant or another variable), append
+    the equality atom ``f = image`` so that ``f`` still occurs in the
+    query and the free tuple can stay unchanged.
+    """
+    for var in query.free:
+        image = substitution.get(var, var)
+        if image != var:
+            new_atoms.append(Atom("=", (var, image)))
+
+
+def _factorizations(query: ConjunctiveQuery) -> "Iterable[ConjunctiveQuery]":
+    """All one-step factorisations: unify two same-predicate atoms.
+
+    Sound (the result is contained in the original query) and needed to
+    unblock rewriting steps whose existential witness occurs in several
+    atoms.
+    """
+    atoms = [a for a in query.atoms if not a.is_equality]
+    prefer = tuple(query.free) + tuple(sorted(query.variables() - set(query.free)))
+    for i in range(len(atoms)):
+        for j in range(i + 1, len(atoms)):
+            left, right = atoms[i], atoms[j]
+            if left.pred != right.pred or left.arity != right.arity:
+                continue
+            unifier = Unifier()
+            if not unifier.unify_atoms(left, right):
+                continue
+            substitution = unifier.substitution(prefer=prefer)
+            merged = [a.substitute(substitution) for a in query.atoms]  # type: ignore[arg-type]
+            _protect_free_variables(query, substitution, merged)
+            yield ConjunctiveQuery(merged, query.free)
+
+
+def rewrite(
+    query: ConjunctiveQuery,
+    theory: Theory,
+    config: "Optional[RewriteConfig]" = None,
+) -> RewritingResult:
+    """Compute the UCQ rewriting of *query* under *theory*.
+
+    Requires single-head rules (convert multi-head theories with
+    :mod:`repro.transforms.multihead` first).
+
+    Raises
+    ------
+    RewritingBudgetExceeded
+        When the budget is hit and ``config.on_budget == "raise"``.
+    RuleError
+        If the theory contains a multi-head rule.
+    """
+    config = config or RewriteConfig()
+    for rule in theory.rules:
+        if not rule.is_single_head:
+            raise RuleError(f"rewriting requires single-head rules, got: {rule}")
+
+    start = normalize_equalities(query)
+    if start is None:
+        return RewritingResult(UnionOfConjunctiveQueries([]), True, 0, 0)
+
+    seen: Set[ConjunctiveQuery] = {start.canonical()}
+    kept: List[ConjunctiveQuery] = [start]
+    depth_of: Dict[ConjunctiveQuery, int] = {start.canonical(): 0}
+    worklist: List[Tuple[ConjunctiveQuery, int]] = [(start, 0)]
+    steps = 0
+    generated = 1
+    counter = 0
+    saturated = True
+
+    def consider(
+        candidate: "Optional[ConjunctiveQuery]",
+        depth: int,
+        prunable: bool = True,
+    ) -> None:
+        """Queue *candidate* unless it is a duplicate.
+
+        Eager subsumption pruning is applied only when *prunable*:
+        factorisation results are *always* contained in their parent, so
+        pruning them would (incorrectly) prevent the very rewriting
+        steps factorisation exists to enable.
+        """
+        nonlocal generated
+        if candidate is None:
+            return
+        normal = normalize_equalities(candidate)
+        if normal is None:
+            return
+        marker = normal.canonical()
+        if marker in seen:
+            if depth < depth_of.get(marker, depth):
+                depth_of[marker] = depth
+            return
+        seen.add(marker)
+        depth_of[marker] = depth
+        generated += 1
+        if prunable and config.eager_subsumption and any(
+            cq_subsumes(existing, normal) for existing in kept
+        ):
+            return
+        kept.append(normal)
+        worklist.append((normal, depth))
+
+    while worklist:
+        if steps >= config.max_steps or len(seen) >= config.max_queries:
+            saturated = False
+            if config.on_budget == "raise":
+                raise RewritingBudgetExceeded(
+                    f"rewriting budget exhausted ({steps} steps, "
+                    f"{len(seen)} queries)",
+                    steps=steps,
+                    queries=len(seen),
+                )
+            break
+        current, current_depth = worklist.pop()
+        for target in current.atoms:
+            if target.is_equality:
+                continue
+            for rule in theory.rules:
+                if rule.head_atom.pred != target.pred:
+                    continue
+                counter += 1
+                renamed = _rename_rule_apart(rule, current, counter)
+                steps += 1
+                consider(_rewriting_step(current, target, renamed), current_depth + 1)
+        if config.factorize:
+            for factored in _factorizations(current):
+                steps += 1
+                # a match of the factored query is a match of current:
+                # no chase step involved, so the depth does not grow
+                consider(factored, current_depth, prunable=False)
+
+    final = minimize_ucq(kept)
+    depth_bound = max(
+        (depth_of.get(disjunct.canonical(), 0) for disjunct in final),
+        default=0,
+    )
+    return RewritingResult(
+        ucq=UnionOfConjunctiveQueries(final),
+        saturated=saturated,
+        steps=steps,
+        generated=generated,
+        depth_bound=depth_bound,
+    )

@@ -1,0 +1,137 @@
+"""Unification of atoms over variables and constants.
+
+The term language has no function symbols, so unification is a plain
+union–find over terms with the single failure mode "two distinct
+constants in one class".  The rewriting engine needs more than the
+most general unifier: it needs the *equivalence classes* themselves to
+check the applicability condition for existential variables, so the
+:class:`Unifier` exposes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..lf.atoms import Atom
+from ..lf.terms import Constant, Term, Variable
+
+
+class Unifier:
+    """A union–find over terms (variables and constants).
+
+    Constants act as rigid terms: two classes may be merged only if at
+    most one of them contains a constant, and never two different
+    constants.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        """Representative of *term*'s class (path-compressing)."""
+        root = term
+        while root in self._parent:
+            root = self._parent[root]
+        while term != root:
+            parent = self._parent[term]
+            self._parent[term] = root
+            term = parent
+        return root
+
+    def union(self, left: Term, right: Term) -> bool:
+        """Merge the classes of *left* and *right*.
+
+        Returns ``False`` on a constant clash (two distinct constants).
+        Constants are kept as class representatives.
+        """
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return True
+        left_const = isinstance(left_root, Constant)
+        right_const = isinstance(right_root, Constant)
+        if left_const and right_const:
+            return False
+        if left_const:
+            self._parent[right_root] = left_root
+        else:
+            self._parent[left_root] = right_root
+        return True
+
+    def unify_atoms(self, left: Atom, right: Atom) -> bool:
+        """Merge argument-wise; ``False`` on predicate/arity mismatch or
+        constant clash (the unifier may then be partially updated —
+        build a fresh one per attempt)."""
+        if left.pred != right.pred or left.arity != right.arity:
+            return False
+        for s, t in zip(left.args, right.args):
+            if not self.union(s, t):  # type: ignore[arg-type]
+                return False
+        return True
+
+    def classes(self) -> List[Set[Term]]:
+        """The non-trivial equivalence classes."""
+        table: Dict[Term, Set[Term]] = {}
+        for term in list(self._parent):
+            root = self.find(term)
+            table.setdefault(root, {root}).add(term)
+        return list(table.values())
+
+    def class_of(self, term: Term) -> Set[Term]:
+        """The class of *term* (at least ``{term}``)."""
+        root = self.find(term)
+        members = {root, term}
+        for other in list(self._parent):
+            if self.find(other) == root:
+                members.add(other)
+        return members
+
+    def substitution(self, prefer: "Optional[Iterable[Variable]]" = None) -> Dict[Variable, Term]:
+        """The induced substitution: every variable to its representative.
+
+        When the class contains a constant, the constant is the image.
+        Otherwise the image is the class representative, except that
+        variables listed in *prefer* are chosen as representatives of
+        their classes when possible, earlier entries winning (the
+        rewriting engine prefers to keep the query's free variables,
+        then its other variables).
+        """
+        priority = {var: rank for rank, var in enumerate(prefer or ())}
+        chosen: Dict[Term, Term] = {}
+        for members in self.classes():
+            constants = [m for m in members if isinstance(m, Constant)]
+            if constants:
+                representative: Term = constants[0]
+            else:
+                liked = sorted(
+                    (m for m in members if m in priority),
+                    key=lambda m: priority[m],
+                )
+                representative = liked[0] if liked else sorted(members, key=str)[0]
+            for member in members:
+                chosen[member] = representative
+        return {
+            term: image
+            for term, image in chosen.items()
+            if isinstance(term, Variable) and term != image
+        }
+
+
+def mgu(left: Atom, right: Atom) -> "Optional[Dict[Variable, Term]]":
+    """Most general unifier of two atoms, or ``None``.
+
+    Convenience wrapper over :class:`Unifier` for callers that only
+    need the substitution.
+    """
+    unifier = Unifier()
+    if not unifier.unify_atoms(left, right):
+        return None
+    return unifier.substitution()
+
+
+def unify_all(pairs: Iterable[Tuple[Atom, Atom]]) -> "Optional[Unifier]":
+    """Simultaneously unify several atom pairs; ``None`` on failure."""
+    unifier = Unifier()
+    for left, right in pairs:
+        if not unifier.unify_atoms(left, right):
+            return None
+    return unifier

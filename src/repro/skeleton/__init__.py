@@ -1,0 +1,21 @@
+"""The skeleton ``S(D, T)`` of a chase (Section 3.2)."""
+
+from .skeleton import (
+    Lemma3Report,
+    SkeletonResult,
+    flesh_atoms,
+    lemma3_report,
+    skeleton,
+    skeleton_of_chase,
+    verify_lemma4,
+)
+
+__all__ = [
+    "Lemma3Report",
+    "SkeletonResult",
+    "flesh_atoms",
+    "lemma3_report",
+    "skeleton",
+    "skeleton_of_chase",
+    "verify_lemma4",
+]

@@ -1,0 +1,28 @@
+"""The Section 5 transformations: binary heads, ternary reduction,
+multi-head encodings, and the guarded-to-binary translation."""
+
+from .binary_heads import is_frontier_one, split_frontier_one_heads
+from .guarded import GuardedTranslation, guarded_to_binary
+from .multihead import (
+    atoms_to_binary_encoding,
+    decode_structure_binary,
+    encode_atom_binary,
+    encode_structure_binary,
+    multihead_to_singlehead,
+)
+from .ternary import TernaryReduction, flatten_atom, ternary_reduction
+
+__all__ = [
+    "GuardedTranslation",
+    "TernaryReduction",
+    "atoms_to_binary_encoding",
+    "decode_structure_binary",
+    "encode_atom_binary",
+    "encode_structure_binary",
+    "flatten_atom",
+    "guarded_to_binary",
+    "is_frontier_one",
+    "multihead_to_singlehead",
+    "split_frontier_one_heads",
+    "ternary_reduction",
+]

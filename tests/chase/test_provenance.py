@@ -1,0 +1,108 @@
+"""Tests for chase provenance (derivation trees)."""
+
+import pytest
+
+from repro.errors import ChaseError
+from repro.chase import (
+    ChaseConfig,
+    chase,
+    deepest_derivation,
+    explain,
+    explain_all,
+    observed_derivation_depth,
+)
+from repro.lf import parse_fact, parse_query, parse_structure, parse_theory
+
+TRANSITIVE = parse_theory("E(x,y), E(y,z) -> E(x,z)")
+CHAIN = parse_structure("E(a,b)\nE(b,c)\nE(c,d)\nE(d,e)")
+
+
+def traced(database, theory, depth=6):
+    return chase(database, theory, ChaseConfig(max_depth=depth, trace=True))
+
+
+class TestExplain:
+    def test_database_fact_is_leaf(self):
+        result = traced(CHAIN, TRANSITIVE)
+        derivation = explain(result, parse_fact("E(a, b)"))
+        assert derivation.is_leaf
+        assert derivation.height == 0
+        assert derivation.size == 0
+
+    def test_derived_fact_has_tree(self):
+        result = traced(CHAIN, TRANSITIVE)
+        derivation = explain(result, parse_fact("E(a, c)"))
+        assert not derivation.is_leaf
+        assert derivation.rule_index == 0
+        assert len(derivation.premises) == 2
+        assert all(p.is_leaf for p in derivation.premises)
+
+    def test_height_bounds_parallel_level(self):
+        result = traced(CHAIN, TRANSITIVE)
+        for fact in result.structure.facts():
+            derivation = explain(result, fact)
+            assert derivation.height >= result.fact_level[fact]
+
+    def test_untraced_run_rejected(self):
+        result = chase(CHAIN, TRANSITIVE, ChaseConfig(max_depth=6))
+        with pytest.raises(ChaseError):
+            explain(result, parse_fact("E(a, c)"))
+
+    def test_unknown_fact_rejected(self):
+        result = traced(CHAIN, TRANSITIVE)
+        with pytest.raises(ChaseError):
+            explain(result, parse_fact("E(e, a)"))
+
+    def test_existential_premises_recorded(self):
+        theory = parse_theory(
+            """
+            U(x) -> exists z. R(x,z)
+            R(x,y) -> S(y)
+            """
+        )
+        result = traced(parse_structure("U(a)"), theory)
+        s_fact = next(iter(result.structure.facts_with_pred("S")))
+        derivation = explain(result, s_fact)
+        assert derivation.rule_index == 1
+        r_premise = derivation.premises[0]
+        assert r_premise.rule_index == 0
+        assert r_premise.premises[0].is_leaf
+
+    def test_render_names_rules(self):
+        result = traced(CHAIN, TRANSITIVE)
+        text = explain(result, parse_fact("E(a, c)")).render(TRANSITIVE)
+        assert "E(a, c)" in text
+        assert "rule 0" in text
+        assert "database" in text
+
+    def test_rules_used(self):
+        theory = parse_theory(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> B(y,x)
+            """
+        )
+        result = traced(CHAIN, theory)
+        b_fact = parse_fact("B(c, a)")
+        derivation = explain(result, b_fact)
+        assert derivation.rules_used() == [0, 1]
+
+
+class TestHelpers:
+    def test_explain_all_limit(self):
+        result = traced(CHAIN, TRANSITIVE)
+        derivations = explain_all(result, "E", limit=3)
+        assert len(derivations) == 3
+
+    def test_deepest_derivation(self):
+        result = traced(CHAIN, TRANSITIVE)
+        deepest = deepest_derivation(result)
+        assert result.fact_level[deepest.fact] == result.depth
+
+    def test_deepest_height_at_least_observed_depth(self):
+        result = traced(CHAIN, TRANSITIVE)
+        deepest = deepest_derivation(result)
+        observed = observed_derivation_depth(
+            result, parse_query("E('a','e')")
+        )
+        assert deepest.height >= observed

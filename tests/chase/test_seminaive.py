@@ -1,0 +1,84 @@
+"""Tests for semi-naive datalog evaluation."""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import ChaseBudgetExceeded
+from repro.chase import datalog_saturate, seminaive_saturate
+from repro.lf import atom, parse_structure, parse_theory
+from repro.zoo import random_edges_database, transitive_theory
+
+TRANSITIVE = transitive_theory()
+
+
+class TestCorrectness:
+    def test_matches_naive_on_chain(self):
+        database = parse_structure("E(a,b)\nE(b,c)\nE(c,d)\nE(d,e)")
+        naive = datalog_saturate(database, TRANSITIVE).structure
+        semi = seminaive_saturate(database, TRANSITIVE)
+        assert naive.same_facts(semi)
+
+    def test_matches_naive_on_random_graphs(self):
+        for seed in range(5):
+            database = random_edges_database(15, 30, seed=seed)
+            naive = datalog_saturate(database, TRANSITIVE).structure
+            semi = seminaive_saturate(database, TRANSITIVE)
+            assert naive.same_facts(semi), f"seed {seed}"
+
+    def test_multiple_rules(self):
+        theory = parse_theory(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> B(y,x)
+            B(x,y), B(y,z) -> C(x,z)
+            """
+        )
+        database = parse_structure("E(a,b)\nE(b,c)")
+        naive = datalog_saturate(database, theory).structure
+        semi = seminaive_saturate(database, theory)
+        assert naive.same_facts(semi)
+
+    def test_existential_rules_ignored(self):
+        theory = parse_theory(
+            """
+            U(x) -> exists z. R(x,z)
+            E(x,y), E(y,z) -> E(x,z)
+            """
+        )
+        database = parse_structure("U(a)\nE(a,b)\nE(b,c)")
+        semi = seminaive_saturate(database, theory)
+        assert not semi.facts_with_pred("R")
+        assert atom("E", *parse_structure("E(a,c)").sorted_facts()[0].args) in semi
+
+    def test_input_not_mutated(self):
+        database = parse_structure("E(a,b)\nE(b,c)")
+        seminaive_saturate(database, TRANSITIVE)
+        assert len(database) == 2
+
+    def test_already_saturated_noop(self):
+        database = parse_structure("E(a,b)")
+        semi = seminaive_saturate(database, TRANSITIVE)
+        assert semi.same_facts(database)
+
+    def test_budget(self):
+        database = random_edges_database(30, 90, seed=3)
+        with pytest.raises(ChaseBudgetExceeded):
+            seminaive_saturate(database, TRANSITIVE, max_facts=50)
+
+
+class TestPropertyAgainstNaive:
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(seed=__import__("hypothesis").strategies.integers(min_value=0, max_value=1000))
+    def test_fixpoint_agreement_fuzzed(self, seed):
+        database = random_edges_database(8, 14, predicates=("E", "B"), seed=seed)
+        theory = parse_theory(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            B(x,y) -> E(y,x)
+            E(x,y), B(x,y) -> Both(x,y)
+            """
+        )
+        naive = datalog_saturate(database, theory).structure
+        semi = seminaive_saturate(database, theory)
+        assert naive.same_facts(semi)

@@ -1,0 +1,160 @@
+"""Tests for colors, colorings, and natural colorings (Def. 6, 7, 14)."""
+
+import pytest
+
+from repro.errors import ColoringError
+from repro.lf import Constant, Null, Structure, atom
+from repro.coloring import (
+    Color,
+    apply_coloring,
+    coloring_from_structure,
+    cyclic_coloring,
+    distinct_coloring,
+    hue_assignment,
+    is_natural,
+    lightness_classes,
+    natural_coloring,
+    naturality_violations,
+)
+
+a, b = Constant("a"), Constant("b")
+n = [Null(i) for i in range(30)]
+
+
+def chain(length):
+    return Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+
+
+class TestColor:
+    def test_predicate_roundtrip(self):
+        color = Color(3, 7)
+        assert Color.parse(color.predicate) == color
+
+    def test_parse_rejects_other_names(self):
+        assert Color.parse("E") is None
+        assert Color.parse("K_hx_l1") is None
+
+    def test_ordering_and_hash(self):
+        assert Color(0, 1) < Color(1, 0)
+        assert len({Color(1, 1), Color(1, 1)}) == 1
+
+
+class TestApplyColoring:
+    def test_each_element_one_color_atom(self):
+        s = chain(3)
+        colored = apply_coloring(s, {e: Color(0, 0) for e in s.domain()})
+        assert not colored.verify()
+        color_facts = [
+            f for f in colored.structure.facts() if Color.parse(f.pred) is not None
+        ]
+        assert len(color_facts) == s.domain_size
+
+    def test_base_restriction_recovers_original(self):
+        s = chain(3)
+        colored = apply_coloring(s, {e: Color(0, 0) for e in s.domain()})
+        assert colored.base.same_facts(s)
+
+    def test_missing_element_rejected(self):
+        s = chain(3)
+        with pytest.raises(ColoringError):
+            apply_coloring(s, {n[0]: Color(0, 0)})
+
+    def test_base_name_collision_rejected(self):
+        s = Structure([atom("K_h0_l0", n[0])])
+        with pytest.raises(ColoringError):
+            apply_coloring(s, {n[0]: Color(1, 1)})
+
+    def test_roundtrip_through_structure(self):
+        s = chain(3)
+        colored = apply_coloring(s, {e: Color(0, 0) for e in s.domain()})
+        recovered = coloring_from_structure(colored.structure)
+        assert recovered.assignment == colored.assignment
+        assert recovered.base_relations == colored.base_relations
+
+    def test_from_structure_rejects_uncolored(self):
+        with pytest.raises(ColoringError):
+            coloring_from_structure(chain(2))
+
+
+class TestNaturalColoring:
+    def test_chain_hue_count(self):
+        """On a chain, P_m(e) spans m+2 consecutive elements (P_0 already
+        contains the parent, Definition 13), so the greedy natural
+        coloring uses exactly m+2 hues."""
+        s = chain(20)
+        hues = hue_assignment(s, 2)
+        chain_hues = {hues[n[i]] for i in range(21)}
+        assert len(chain_hues) == 4
+
+    def test_hues_differ_along_ancestors(self):
+        s = chain(20)
+        colored = natural_coloring(s, 3)
+        for i in range(17):
+            window = {colored.assignment[n[i + k]].hue for k in range(4)}
+            assert len(window) == 4
+
+    def test_lightness_separates_root(self):
+        s = chain(5)
+        light = lightness_classes(s)
+        assert light[n[0]] != light[n[2]]  # root has no parent
+        assert light[n[2]] == light[n[3]]
+
+    def test_natural_coloring_is_natural(self):
+        assert is_natural(natural_coloring(chain(12), 2), 2)
+
+    def test_constants_get_unique_colors(self):
+        s = Structure([atom("E", a, n[0]), atom("E", b, n[1])])
+        colored = natural_coloring(s, 1)
+        assert colored.assignment[a] != colored.assignment[b]
+
+    def test_violations_detected(self):
+        s = chain(6)
+        # all same color: ancestors share hues
+        bad = apply_coloring(s, {e: Color(0, 0) for e in s.domain()})
+        assert naturality_violations(bad, 1)
+
+    def test_lightness_violation_detected(self):
+        s = chain(4)
+        # give root and a middle element the same color: their
+        # P-neighbourhoods differ (no parent vs one parent)
+        assignment = {e: Color(i, 0) for i, e in enumerate(sorted(s.domain(), key=str))}
+        assignment[n[0]] = Color(99, 5)
+        assignment[n[2]] = Color(98, 5)  # same lightness 5, different hue
+        bad = apply_coloring(s, assignment)
+        assert any("isomorphic" in v for v in naturality_violations(bad, 1))
+
+    def test_tree_coloring(self):
+        # binary tree of depth 3
+        facts = []
+        counter = [1]
+        def grow(parent, depth):
+            if depth == 0:
+                return
+            for pred in ("F", "G"):
+                child = n[counter[0]]; counter[0] += 1
+                facts.append(atom(pred, parent, child))
+                grow(child, depth - 1)
+        grow(n[0], 3)
+        tree = Structure(facts)
+        colored = natural_coloring(tree, 2)
+        assert is_natural(colored, 2)
+
+
+class TestBoundedPalettes:
+    def test_cyclic_coloring_palette(self):
+        colored = cyclic_coloring(chain(10), 4)
+        assert colored.palette_size == 4
+
+    def test_cyclic_coloring_matches_example4(self):
+        colored = cyclic_coloring(chain(10), 3)
+        for i in range(11):
+            assert colored.assignment[n[i]].hue == i % 3
+
+    def test_cyclic_needs_positive_palette(self):
+        with pytest.raises(ValueError):
+            cyclic_coloring(chain(3), 0)
+
+    def test_distinct_coloring_identity_palette(self):
+        s = chain(5)
+        colored = distinct_coloring(s)
+        assert colored.palette_size == s.domain_size

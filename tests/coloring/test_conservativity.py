@@ -1,0 +1,152 @@
+"""Tests for conservativity (Def. 8, 9) and the (♠2)/(♠3) distinction."""
+
+import pytest
+
+from repro.errors import ConservativityError
+from repro.lf import Constant, Null, Structure, atom
+from repro.coloring import (
+    Color,
+    apply_coloring,
+    conservativity_report,
+    cyclic_coloring,
+    find_conservative,
+    is_conservative,
+    natural_coloring,
+    spade3_holds,
+)
+
+n = [Null(i) for i in range(40)]
+
+
+def chain(length):
+    return Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+
+
+def total_order(size):
+    return Structure(
+        atom("E", n[i], n[j]) for i in range(size) for j in range(i + 1, size)
+    )
+
+
+class TestExample4:
+    """The colored chain: conservative up to m with m+1 colors, not m+1."""
+
+    def test_conservative_up_to_m(self):
+        colored = cyclic_coloring(chain(25), 3)
+        assert is_conservative(colored, n=4, m=2)
+
+    def test_not_conservative_one_size_up(self):
+        colored = cyclic_coloring(chain(25), 3)
+        report = conservativity_report(colored, n=6, m=3)
+        assert not report.conservative
+        # the witness is the (m+1)-cycle the projection created
+        assert report.witness_query is not None
+        assert len([a for a in report.witness_query.atoms if not a.is_equality]) >= 3
+
+    def test_small_n_fails(self):
+        """Example 4's last paragraph: n < m breaks preservation."""
+        colored = cyclic_coloring(chain(25), 3)
+        assert not is_conservative(colored, n=1, m=2)
+
+    def test_more_colors_allow_bigger_m(self):
+        colored = cyclic_coloring(chain(30), 5)
+        assert is_conservative(colored, n=6, m=4)
+
+
+class TestExample3:
+    def test_uncolored_chain_not_conservative(self):
+        trivial = apply_coloring(
+            chain(12), {e: Color(0, 0) for e in chain(12).domain()}
+        )
+        report = conservativity_report(trivial, n=3, m=1)
+        assert not report.conservative
+        # Example 3's failure: a reflexive E-atom becomes visible
+        assert "E" in str(report.witness_query)
+
+
+class TestExample5:
+    def test_chain_is_ptp_conservative(self):
+        """Example 5: for each m, the natural coloring works."""
+        for m in (1, 2):
+            witness = find_conservative(chain(20), m)
+            assert witness.n >= m
+            assert witness.quotient.size < 21
+
+    def test_find_conservative_reports_attempts(self):
+        witness = find_conservative(chain(20), 2)
+        assert witness.attempts[-1] == witness.n
+
+
+class TestExample6:
+    """The total order: no bounded-palette coloring is conservative.
+
+    Finite rendition of the paper's infinite statement: for a *fixed*
+    palette and quotient parameter, a long enough order must merge two
+    comparable elements, creating the reflexive edge ``E(y, y)`` that
+    no element of an irreflexive order satisfies.  (On a *short* order
+    the boundary effects of positive types can distinguish everything,
+    so the length must outgrow the palette.)
+    """
+
+    def test_bounded_palette_fails(self):
+        for palette in (2, 3):
+            colored = cyclic_coloring(total_order(4 * palette), palette)
+            report = conservativity_report(colored, n=2, m=1)
+            assert not report.conservative
+            # the witness is the reflexive edge E(y, y)
+            assert "E(y, y)" in str(report.witness_query)
+
+    def test_search_fails_with_cyclic_coloring(self):
+        order = total_order(12)
+        with pytest.raises(ConservativityError):
+            find_conservative(order, m=1, n_start=1, n_max=2,
+                              coloring=cyclic_coloring(order, 3))
+
+    def test_short_order_is_degenerately_fine(self):
+        """Control: on a short order the quotient is the identity and
+        conservativity holds vacuously — the phenomenon needs length."""
+        order = total_order(6)
+        report = conservativity_report(cyclic_coloring(order, 3), n=3, m=1)
+        assert report.conservative
+        assert report.quotient.size == 6
+
+
+class TestRemark3:
+    """(♠3) can hold while (♠2) fails: the loop-plus-chain structure."""
+
+    @staticmethod
+    def loop_and_chain():
+        facts = [atom("E", n[30], n[30])]  # the E(a,a) loop
+        facts += [atom("E", n[i], n[j]) for i in range(12) for j in range(i + 1, 12)]
+        return Structure(facts)
+
+    def test_spade3_holds_but_spade2_fails(self):
+        structure = self.loop_and_chain()
+        colored = cyclic_coloring(structure, 3)
+        report = conservativity_report(colored, n=2, m=2)
+        ok3, counterexample = spade3_holds(colored, n=2, m=2, prebuilt=report.quotient)
+        assert ok3, f"unexpected new sentence: {counterexample}"
+        assert not report.conservative
+
+    def test_spade3_counterexample_reported(self):
+        # an uncolored chain: the quotient has a loop, and a loop is a
+        # *sentence* (1 variable) absent from the chain — (♠3) fails too
+        trivial = apply_coloring(
+            chain(12), {e: Color(0, 0) for e in chain(12).domain()}
+        )
+        ok, counterexample = spade3_holds(trivial, n=3, m=2)
+        assert not ok
+        assert counterexample is not None
+
+
+class TestReportMechanics:
+    def test_quotient_reusable(self):
+        colored = cyclic_coloring(chain(15), 3)
+        report = conservativity_report(colored, n=4, m=2)
+        again = conservativity_report(colored, n=4, m=2, prebuilt=report.quotient)
+        assert again.conservative == report.conservative
+
+    def test_bool_protocol(self):
+        colored = cyclic_coloring(chain(15), 3)
+        assert conservativity_report(colored, n=4, m=2)
+        assert not conservativity_report(colored, n=1, m=2)

@@ -1,0 +1,129 @@
+"""Tests for (♠4) query hiding and (♠5) normalisation (Section 3.1)."""
+
+import pytest
+
+from repro.errors import NotBinaryError, RuleError
+from repro.chase import certain_boolean
+from repro.lf import (
+    Constant,
+    Variable,
+    atom,
+    parse_query,
+    parse_structure,
+    parse_theory,
+)
+from repro.core import hide_query, prepare, spade5_normalize
+
+LINEAR = parse_theory("E(x,y) -> exists z. E(y,z)")
+
+
+class TestHideQuery:
+    def test_flag_is_fresh(self):
+        hidden = hide_query(LINEAR, parse_query("E(x,y), E(y,z)"))
+        assert hidden.flag_predicate not in LINEAR.predicates()
+
+    def test_hiding_rule_shape(self):
+        hidden = hide_query(LINEAR, parse_query("E(x,y), E(y,z)"))
+        rule = hidden.hiding_rule
+        assert rule.is_existential
+        assert rule.head_atom.pred == hidden.flag_predicate
+        assert len(rule.existential_variables()) == 1
+
+    def test_flag_equivalence_with_query(self):
+        """F derivable iff query certain (the (♠4) equivalence)."""
+        database = parse_structure("E(a,b)")
+        query = parse_query("E(x,y), E(y,z)")
+        hidden = hide_query(LINEAR, query)
+        flag_query = parse_query(f"{hidden.flag_predicate}(x,y)")
+        assert certain_boolean(database, LINEAR, query, max_depth=6) is True
+        assert certain_boolean(database, hidden.theory, flag_query, max_depth=6) is True
+
+    def test_flag_absent_when_query_not_certain(self):
+        database = parse_structure("E(a,b)")
+        query = parse_query("E(x,x)")
+        hidden = hide_query(LINEAR, query)
+        flag_query = parse_query(f"{hidden.flag_predicate}(x,y)")
+        verdict = certain_boolean(database, hidden.theory, flag_query, max_depth=6)
+        assert verdict is not True
+
+    def test_ground_query_rejected(self):
+        with pytest.raises(RuleError):
+            hide_query(LINEAR, parse_query("E('a','b')"))
+
+    def test_fresh_name_avoids_existing_F(self):
+        theory = parse_theory("F(x,y) -> exists z. F(y,z)")
+        hidden = hide_query(theory, parse_query("F(x,y)"))
+        assert hidden.flag_predicate != "F"
+
+
+class TestSpade5:
+    def test_already_normal_untouched(self):
+        result = spade5_normalize(LINEAR)
+        assert result.theory == LINEAR
+        assert not result.renamed_heads
+
+    def test_backwards_head_reoriented(self):
+        theory = parse_theory("U(y) -> exists z. E(z,y)")
+        result = spade5_normalize(theory)
+        assert result.theory.satisfies_spade5
+        assert "E" in result.renamed_heads
+
+    def test_reorientation_preserves_certain_answers(self):
+        theory = parse_theory("U(y) -> exists z. E(z,y)")
+        result = spade5_normalize(theory)
+        database = parse_structure("U(a)")
+        query = parse_query("E(z, 'a')")
+        assert certain_boolean(database, theory, query, max_depth=4) is True
+        assert certain_boolean(database, result.theory, query, max_depth=4) is True
+
+    def test_unary_head_routed(self):
+        theory = parse_theory("U(x) -> exists z. V(z)")
+        result = spade5_normalize(theory)
+        assert result.theory.satisfies_spade5
+        database = parse_structure("U(a)")
+        assert certain_boolean(database, result.theory, parse_query("V(z)"), max_depth=4) is True
+
+    def test_loop_head_routed(self):
+        theory = parse_theory("U(x) -> exists z. E(z,z)")
+        result = spade5_normalize(theory)
+        assert result.theory.satisfies_spade5
+        database = parse_structure("U(a)")
+        assert certain_boolean(database, result.theory, parse_query("E(z,z)"), max_depth=4) is True
+
+    def test_tgp_datalog_clash_separated(self):
+        theory = parse_theory(
+            """
+            E(x,y) -> exists z. E(y,z)
+            R(x,y) -> E(x,y)
+            """
+        )
+        result = spade5_normalize(theory)
+        assert result.theory.satisfies_spade5
+        # certain answers over E preserved
+        database = parse_structure("R(a,b)")
+        query = parse_query("E(x,y), E(y,z)")
+        assert certain_boolean(database, theory, query, max_depth=5) is True
+        assert certain_boolean(database, result.theory, query, max_depth=5) is True
+
+    def test_nonbinary_rejected(self):
+        theory = parse_theory("P(x,y,z) -> exists w. P(y,z,w)")
+        with pytest.raises(NotBinaryError):
+            spade5_normalize(theory)
+
+    def test_multihead_rejected(self):
+        theory = parse_theory("E(x,y) -> U(x), U(y)")
+        with pytest.raises(RuleError):
+            spade5_normalize(theory)
+
+    def test_multi_witness_rejected(self):
+        theory = parse_theory("U(x) -> exists z, w. E(z,w)")
+        with pytest.raises(RuleError):
+            spade5_normalize(theory)
+
+
+class TestPrepare:
+    def test_prepare_combines_both(self):
+        prepared = prepare(LINEAR, parse_query("E(x,x)"))
+        assert prepared.theory.satisfies_spade5
+        assert prepared.flag_predicate in prepared.theory.predicates()
+        assert prepared.original_theory == LINEAR

@@ -1,0 +1,66 @@
+"""Tests for the ordering-conjecture machinery (Section 5.5)."""
+
+from repro.lf import parse_query, parse_structure, parse_theory
+from repro.fc import (
+    default_candidates,
+    find_ordering,
+    ordering_implies_query,
+    search_finite_model,
+)
+from repro.zoo import (
+    remark3_theory,
+    section55_database,
+    section55_query,
+    section55_theory,
+)
+
+
+class TestCandidates:
+    def test_pool_covers_binary_predicates(self):
+        theory = parse_theory("E(x,y) -> exists z. R(y,z)")
+        pool = default_candidates(theory)
+        predicates = {a.pred for q in pool for a in q.atoms}
+        assert predicates == {"E", "R"}
+
+    def test_compositions_included(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        pool = default_candidates(theory, max_length=2)
+        assert any(len(q.atoms) == 2 for q in pool)
+
+
+class TestFindOrdering:
+    def test_successor_transitivity_defines_ordering(self):
+        """The natural non-FC theory: E itself orders the chase."""
+        witness = find_ordering(
+            remark3_theory(), parse_structure("E(a,b)"), min_size=5
+        )
+        assert witness is not None
+        assert witness.size >= 5
+        assert {a.pred for a in witness.query.atoms} == {"E"}
+
+    def test_section55_defines_no_small_ordering(self):
+        """The paper's point: this non-FC theory defines no ordering
+        (within the bounded candidate pool and chase truncation)."""
+        witness = find_ordering(
+            section55_theory(), section55_database(), min_size=5
+        )
+        assert witness is None
+
+    def test_plain_chain_not_ordered_without_transitivity(self):
+        # a successor chain is not *totally* ordered by E (non-adjacent
+        # elements are incomparable), so no witness of size ≥ 3
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        witness = find_ordering(theory, parse_structure("E(a,b)"), min_size=3)
+        assert witness is None or len(witness.query.atoms) > 1
+
+
+class TestOrderingImpliesQuery:
+    def test_finite_models_of_ordering_theory_satisfy_reflexive(self):
+        """The true half of Conjecture 2, on successor+transitivity."""
+        theory = remark3_theory()
+        database = parse_structure("E(a,b)")
+        witness = find_ordering(theory, database, min_size=5)
+        assert witness is not None
+        outcome = search_finite_model(database, theory, max_elements=5)
+        assert outcome.found
+        assert ordering_implies_query(witness, outcome.model)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.lf.atoms and repro.lf.signature."""
+
+import pytest
+
+from repro.errors import ArityError, NotBinaryError, SignatureError
+from repro.lf import Atom, Constant, Null, Signature, Variable, atom
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestAtom:
+    def test_construction_and_arity(self):
+        fact = atom("E", a, b)
+        assert fact.pred == "E"
+        assert fact.arity == 2
+
+    def test_equality(self):
+        assert atom("E", x, y) == Atom("E", (x, y))
+        assert atom("E", x, y) != atom("E", y, x)
+
+    def test_variables_and_constants(self):
+        mixed = atom("R", x, a, y, x)
+        assert list(mixed.variables()) == [x, y, x]
+        assert mixed.variable_set() == {x, y}
+        assert list(mixed.constants()) == [a]
+
+    def test_is_fact(self):
+        assert atom("E", a, Null(0)).is_fact
+        assert not atom("E", a, x).is_fact
+
+    def test_substitute(self):
+        assert atom("E", x, y).substitute({x: a}) == atom("E", a, y)
+
+    def test_substitute_leaves_original(self):
+        original = atom("E", x, y)
+        original.substitute({x: a})
+        assert original == atom("E", x, y)
+
+    def test_equality_atom(self):
+        eq = atom("=", x, a)
+        assert eq.is_equality
+        assert str(eq) == "x = a"
+
+    def test_str(self):
+        assert str(atom("E", x, a)) == "E(x, a)"
+
+    def test_rename_predicate(self):
+        assert atom("E", x, y).rename_predicate("F") == atom("F", x, y)
+
+    def test_empty_pred_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", (x,))
+
+
+class TestSignature:
+    def test_make_and_lookup(self):
+        sig = Signature.make({"E": 2, "U": 1}, [a])
+        assert sig.arity("E") == 2
+        assert "E" in sig
+        assert "Q" not in sig
+        assert a in sig
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SignatureError):
+            Signature.make({"E": 2}).arity("F")
+
+    def test_equality_reserved(self):
+        with pytest.raises(SignatureError):
+            Signature.make({"=": 2})
+
+    def test_of_atoms(self):
+        sig = Signature.of_atoms([atom("E", x, a), atom("U", y)])
+        assert sig.arity("E") == 2
+        assert sig.arity("U") == 1
+        assert a in sig.constants
+
+    def test_of_atoms_arity_clash(self):
+        with pytest.raises(ArityError):
+            Signature.of_atoms([atom("E", x, y), atom("E", x)])
+
+    def test_of_atoms_skips_equality(self):
+        sig = Signature.of_atoms([atom("=", x, a)])
+        assert not sig.relation_names()
+        assert a in sig.constants
+
+    def test_unary_binary_split(self):
+        sig = Signature.make({"E": 2, "U": 1, "P": 3})
+        assert sig.unary_relations() == {"U"}
+        assert sig.binary_relations() == {"E"}
+        assert sig.max_arity == 3
+
+    def test_is_binary(self):
+        assert Signature.make({"E": 2, "U": 1}).is_binary
+        assert not Signature.make({"P": 3}).is_binary
+
+    def test_require_binary(self):
+        with pytest.raises(NotBinaryError):
+            Signature.make({"P": 3}).require_binary()
+        sig = Signature.make({"E": 2})
+        assert sig.require_binary() is sig
+
+    def test_with_relations_merge(self):
+        sig = Signature.make({"E": 2}).with_relations({"U": 1})
+        assert sig.arity("U") == 1
+        assert sig.arity("E") == 2
+
+    def test_with_relations_conflict(self):
+        with pytest.raises(ArityError):
+            Signature.make({"E": 2}).with_relations({"E": 3})
+
+    def test_union(self):
+        left = Signature.make({"E": 2}, [a])
+        right = Signature.make({"U": 1}, [b])
+        combined = left.union(right)
+        assert combined.relation_names() == {"E", "U"}
+        assert combined.constants == {a, b}
+
+    def test_restrict_and_drop(self):
+        sig = Signature.make({"E": 2, "U": 1}, [a])
+        assert sig.restrict_to(["E"]).relation_names() == {"E"}
+        assert sig.without_relations(["E"]).relation_names() == {"U"}
+        # constants survive restriction
+        assert a in sig.restrict_to(["E"]).constants
+
+    def test_fresh_relation_name(self):
+        sig = Signature.make({"F": 2, "F_0": 1})
+        assert sig.fresh_relation_name("F") == "F_1"
+        assert sig.fresh_relation_name("G") == "G"
+
+    def test_hashable(self):
+        assert len({Signature.make({"E": 2}), Signature.make({"E": 2})}) == 1

@@ -1,0 +1,134 @@
+"""Unit tests for repro.lf.canonical."""
+
+import pytest
+
+from repro.lf import (
+    FREE_VARIABLE,
+    Constant,
+    Null,
+    Structure,
+    atom,
+    canonical_label,
+    canonical_query,
+    isomorphic_over_constants,
+    satisfies,
+    subsets_containing,
+)
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+n0, n1, n2 = Null(0), Null(1), Null(2)
+
+
+class TestCanonicalQuery:
+    def test_distinguished_becomes_free_variable(self):
+        s = Structure([atom("E", n0, n1)])
+        q = canonical_query(s, [n0, n1], n0)
+        assert q.free == (FREE_VARIABLE,)
+        assert any(FREE_VARIABLE in at.variable_set() for at in q.atoms)
+
+    def test_constants_stay_constants(self):
+        s = Structure([atom("E", a, n0)])
+        q = canonical_query(s, [a, n0], n0)
+        assert a in q.constants()
+
+    def test_constant_distinguished_gets_equality(self):
+        s = Structure([atom("E", a, b)])
+        q = canonical_query(s, [a, b], a)
+        assert any(at.is_equality for at in q.atoms)
+
+    def test_satisfied_at_origin(self):
+        # The canonical query is, by construction, satisfied at the
+        # distinguished element of the original structure.
+        s = Structure([atom("E", n0, n1), atom("E", n1, n2), atom("U", n1)])
+        q = canonical_query(s, [n0, n1, n2], n1)
+        assert satisfies(s, q, {FREE_VARIABLE: n1})
+
+    def test_restricted_relations(self):
+        s = Structure([atom("E", n0, n1), atom("K", n0)])
+        q = canonical_query(s, [n0, n1], n0, relation_names=["E"])
+        assert q.relation_names() == {"E"}
+
+    def test_isolated_distinguished_yields_trivial_query(self):
+        s = Structure([atom("E", n0, n1)], domain=[n2])
+        q = canonical_query(s, [n2], n2)
+        # trivial query: y = y
+        assert satisfies(s, q, {FREE_VARIABLE: n0})
+
+    def test_element_outside_subset_required(self):
+        s = Structure([atom("E", n0, n1)])
+        with pytest.raises(ValueError):
+            canonical_query(s, [n0], n1)
+
+    def test_width_bounded_by_subset_size(self):
+        s = Structure([atom("E", n0, n1), atom("E", n1, n2), atom("E", n2, n0)])
+        q = canonical_query(s, [n0, n1, n2], n0)
+        assert q.width <= 3
+
+
+class TestSubsets:
+    def test_sizes_and_anchor(self):
+        pool = [n0, n1, n2]
+        subsets = list(subsets_containing(pool, n0, 2))
+        assert frozenset([n0]) in subsets
+        assert frozenset([n0, n1]) in subsets
+        assert frozenset([n0, n2]) in subsets
+        assert all(n0 in s and len(s) <= 2 for s in subsets)
+        assert len(subsets) == 3
+
+    def test_anchor_not_double_counted(self):
+        subsets = list(subsets_containing([n0, n1], n0, 2))
+        assert frozenset([n0, n1]) in subsets
+        assert len(subsets) == 2
+
+    def test_max_size_one(self):
+        assert list(subsets_containing([n0, n1], n0, 1)) == [frozenset([n0])]
+
+    def test_count_formula(self):
+        pool = [Null(i) for i in range(6)]
+        subsets = list(subsets_containing(pool, Null(0), 3))
+        # 1 + C(5,1) + C(5,2) = 1 + 5 + 10
+        assert len(subsets) == 16
+
+
+class TestCanonicalLabel:
+    def test_invariant_under_null_renaming(self):
+        left = Structure([atom("E", n0, n1), atom("U", n0)])
+        right = Structure([atom("E", Null(7), Null(9)), atom("U", Null(7))])
+        assert canonical_label(left) == canonical_label(right)
+
+    def test_distinguishes_direction(self):
+        left = Structure([atom("E", a, n0)])
+        right = Structure([atom("E", n0, a)])
+        assert canonical_label(left) != canonical_label(right)
+
+    def test_constants_not_renamed(self):
+        left = Structure([atom("E", a, n0)])
+        right = Structure([atom("E", b, n0)])
+        assert canonical_label(left) != canonical_label(right)
+
+    def test_size_guard(self):
+        big = Structure([atom("E", Null(i), Null(i + 1)) for i in range(9)])
+        with pytest.raises(ValueError):
+            canonical_label(big)
+
+
+class TestIsomorphicOverConstants:
+    def test_positive(self):
+        left = Structure([atom("E", a, n0), atom("E", n0, n1)])
+        right = Structure([atom("E", a, n2), atom("E", n2, Null(5))])
+        assert isomorphic_over_constants(left, right)
+
+    def test_constant_mismatch(self):
+        left = Structure([atom("E", a, n0)])
+        right = Structure([atom("E", b, n0)])
+        assert not isomorphic_over_constants(left, right)
+
+    def test_shape_mismatch(self):
+        path = Structure([atom("E", n0, n1), atom("E", n1, n2)])
+        fork = Structure([atom("E", n0, n1), atom("E", n0, n2)])
+        assert not isomorphic_over_constants(path, fork)
+
+    def test_size_fast_reject(self):
+        small = Structure([atom("E", n0, n1)])
+        big = Structure([atom("E", n0, n1), atom("E", n1, n2)])
+        assert not isomorphic_over_constants(small, big)

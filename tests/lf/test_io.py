@@ -1,0 +1,112 @@
+"""Tests for serialisation and export (repro.lf.io)."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import ParseError
+from repro.lf import (
+    Constant,
+    Null,
+    Structure,
+    atom,
+    element_from_value,
+    element_to_value,
+    parse_rule,
+    parse_structure,
+    parse_theory,
+    rule_to_text,
+    structure_from_dict,
+    structure_to_dict,
+    theory_to_text,
+    to_dot,
+)
+
+a, b = Constant("a"), Constant("b")
+n0, n1 = Null(0), Null(1)
+
+
+class TestElements:
+    def test_constant_roundtrip(self):
+        assert element_from_value(element_to_value(a)) == a
+
+    def test_null_roundtrip_with_provenance(self):
+        null = Null(7, rule_index=2, level=5)
+        back = element_from_value(element_to_value(null))
+        assert back == null
+        assert back.rule_index == 2 and back.level == 5
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ParseError):
+            element_from_value({"weird": 1})
+
+
+class TestStructureDicts:
+    def test_roundtrip_with_isolated(self):
+        structure = Structure([atom("E", a, n0)], domain=[n1])
+        data = structure_to_dict(structure)
+        back = structure_from_dict(data)
+        assert back.same_facts(structure)
+        assert back.domain() == structure.domain()
+
+    def test_json_compatible(self):
+        structure = Structure([atom("E", a, n0), atom("U", b)])
+        text = json.dumps(structure_to_dict(structure))
+        back = structure_from_dict(json.loads(text))
+        assert back.same_facts(structure)
+
+    def test_deterministic(self):
+        structure = parse_structure("E(a,b)\nE(b,c)\nU(a)")
+        assert structure_to_dict(structure) == structure_to_dict(structure.copy())
+
+
+class TestRuleText:
+    def test_datalog_roundtrip(self):
+        rule = parse_rule("E(x,y), E(y,z) -> E(x,z)")
+        assert parse_rule(rule_to_text(rule)) == rule
+
+    def test_existential_roundtrip(self):
+        rule = parse_rule("E(x,y) -> exists z. E(y,z)")
+        assert parse_rule(rule_to_text(rule)) == rule
+
+    def test_constants_quoted(self):
+        rule = parse_rule("E(x, 'a') -> E('a', x)")
+        text = rule_to_text(rule)
+        assert "'a'" in text
+        assert parse_rule(text) == rule
+
+    def test_theory_roundtrip(self):
+        theory = parse_theory(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,y), E(u,y) -> R(x,u)
+            R(x, 'hub') -> Central(x)
+            """
+        )
+        assert parse_theory(theory_to_text(theory)) == theory
+
+
+class TestDot:
+    def test_binary_edges_rendered(self):
+        structure = parse_structure("E(a,b)\nU(a)")
+        dot = to_dot(structure)
+        assert "digraph" in dot
+        assert 'label="E"' in dot
+        assert "U" in dot  # unary folded into the node label
+        assert "shape=box" in dot  # constants are boxes
+
+    def test_nulls_are_ellipses(self):
+        structure = Structure([atom("E", n0, n1)])
+        dot = to_dot(structure)
+        assert "shape=ellipse" in dot
+
+    def test_highlight(self):
+        structure = parse_structure("E(a,b)")
+        dot = to_dot(structure, highlight={a: "red"})
+        assert 'fillcolor="red"' in dot
+
+    def test_ternary_as_comment(self):
+        structure = parse_structure("T(a,b,c)")
+        dot = to_dot(structure)
+        assert "// T(a, b, c)" in dot

@@ -1,0 +1,157 @@
+"""Unit tests for repro.lf.queries."""
+
+import pytest
+
+from repro.lf import (
+    ConjunctiveQuery,
+    Constant,
+    UnionOfConjunctiveQueries,
+    Variable,
+    atom,
+    cq,
+    parse_query,
+)
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a = Constant("a")
+
+
+class TestConstruction:
+    def test_atoms_deduplicated(self):
+        q = cq([atom("E", x, y), atom("E", x, y)])
+        assert len(q) == 1
+
+    def test_free_variable_must_occur(self):
+        with pytest.raises(ValueError):
+            cq([atom("E", x, y)], free=(z,))
+
+    def test_repeated_free_rejected(self):
+        with pytest.raises(ValueError):
+            cq([atom("E", x, y)], free=(x, x))
+
+    def test_width_counts_distinct_variables(self):
+        q = cq([atom("E", x, y), atom("E", y, z)])
+        assert q.width == 3
+
+    def test_boolean_flag(self):
+        assert cq([atom("E", x, y)]).is_boolean
+        assert not cq([atom("E", x, y)], free=(x,)).is_boolean
+
+
+class TestInspection:
+    def test_variable_partition(self):
+        q = cq([atom("E", x, y), atom("U", z)], free=(x,))
+        assert q.variables() == {x, y, z}
+        assert q.existential_variables() == {y, z}
+
+    def test_constants(self):
+        q = cq([atom("E", x, a)])
+        assert q.constants() == {a}
+
+    def test_relation_names_skip_equality(self):
+        q = cq([atom("E", x, y), atom("=", x, a)])
+        assert q.relation_names() == {"E"}
+
+
+class TestTransformation:
+    def test_substitute_to_constant_drops_free(self):
+        q = cq([atom("E", x, y)], free=(x, y))
+        substituted = q.substitute({x: a})
+        assert substituted.free == (y,)
+        assert atom("E", a, y) in substituted.atoms
+
+    def test_substitute_renames_free(self):
+        q = cq([atom("E", x, y)], free=(x,))
+        renamed = q.substitute({x: z})
+        assert renamed.free == (z,)
+
+    def test_conjoin_merges(self):
+        left = cq([atom("E", x, y)], free=(x,))
+        right = cq([atom("U", x)], free=(x,))
+        joined = left.conjoin(right)
+        assert len(joined) == 2
+        assert joined.free == (x,)
+
+    def test_boolean_closure(self):
+        q = cq([atom("E", x, y)], free=(x,)).boolean()
+        assert q.is_boolean
+
+    def test_rename_apart(self):
+        q = cq([atom("E", x, y)])
+        renamed = q.rename_apart([x])
+        assert x not in renamed.variables()
+        assert len(renamed.variables()) == 2
+
+    def test_rename_apart_noop(self):
+        q = cq([atom("E", x, y)])
+        assert q.rename_apart([z]) == q
+
+
+class TestCanonical:
+    def test_canonical_identifies_renamings(self):
+        left = cq([atom("E", x, y), atom("E", y, z)])
+        right = cq([atom("E", w, x), atom("E", x, z)])
+        assert left.canonical() == right.canonical()
+
+    def test_canonical_distinguishes_structure(self):
+        path = cq([atom("E", x, y), atom("E", y, z)])
+        fork = cq([atom("E", x, y), atom("E", x, z)])
+        assert path.canonical() != fork.canonical()
+
+    def test_canonical_respects_free_vars(self):
+        q1 = cq([atom("E", x, y)], free=(x,))
+        q2 = cq([atom("E", x, y)], free=(y,))
+        assert q1.canonical() != q2.canonical()
+
+    def test_canonical_idempotent(self):
+        q = cq([atom("E", x, y), atom("R", y, z), atom("E", z, x)])
+        assert q.canonical() == q.canonical().canonical()
+
+
+class TestUCQ:
+    def test_dedup_by_canonical_form(self):
+        u = UnionOfConjunctiveQueries(
+            [cq([atom("E", x, y)]), cq([atom("E", z, w)])]
+        )
+        assert len(u) == 1
+
+    def test_free_alignment(self):
+        u = UnionOfConjunctiveQueries(
+            [cq([atom("E", x, y)], free=(x,)), cq([atom("U", z)], free=(z,))]
+        )
+        assert u.free == (x,)
+        assert all(d.free == (x,) for d in u)
+
+    def test_mismatched_free_arity_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries(
+                [cq([atom("E", x, y)], free=(x,)), cq([atom("E", x, y)], free=(x, y))]
+            )
+
+    def test_max_width(self):
+        u = UnionOfConjunctiveQueries(
+            [cq([atom("E", x, y)]), cq([atom("E", x, y), atom("E", y, z)])]
+        )
+        assert u.max_width == 3
+
+    def test_empty_union(self):
+        u = UnionOfConjunctiveQueries([])
+        assert len(u) == 0
+        assert str(u) == "false"
+
+    def test_equality_up_to_renaming(self):
+        left = UnionOfConjunctiveQueries([cq([atom("E", x, y)])])
+        right = UnionOfConjunctiveQueries([cq([atom("E", z, w)])])
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestParsing:
+    def test_parse_roundtrip(self):
+        q = parse_query("E(x,y), E(y,z)", free=["x"])
+        assert q.free == (x,)
+        assert q.width == 3
+
+    def test_parse_with_constants(self):
+        q = parse_query("E(x, 'a')")
+        assert q.constants() == {a}

@@ -1,0 +1,149 @@
+"""Unit tests for repro.lf.structures."""
+
+import pytest
+
+from repro.errors import ArityError, SignatureError
+from repro.lf import Atom, Constant, Null, Signature, Structure, Variable, atom
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+n0, n1 = Null(0), Null(1)
+
+
+def chain(*elements, pred="E"):
+    """A directed chain structure over the given elements."""
+    return Structure(
+        atom(pred, left, right) for left, right in zip(elements, elements[1:])
+    )
+
+
+class TestBasics:
+    def test_add_and_membership(self):
+        s = Structure()
+        assert s.add_fact(atom("E", a, b))
+        assert not s.add_fact(atom("E", a, b))  # duplicate
+        assert atom("E", a, b) in s
+        assert atom("E", b, a) not in s
+
+    def test_facts_with_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Structure([atom("E", a, Variable("x"))])
+
+    def test_domain_gathers_arguments(self):
+        s = Structure([atom("E", a, n0)])
+        assert s.domain() == {a, n0}
+        assert s.domain_size == 2
+
+    def test_isolated_elements(self):
+        s = Structure([atom("E", a, b)], domain=[c])
+        assert c in s.domain()
+        assert s.degree(c) == 0
+
+    def test_len_counts_facts(self):
+        assert len(chain(a, b, c)) == 2
+
+    def test_signature_grows(self):
+        s = Structure([atom("E", a, b)])
+        s.add_fact(atom("U", a))
+        assert s.signature.arity("U") == 1
+        assert a in s.signature.constants
+
+    def test_strict_mode_rejects_unknown(self):
+        s = Structure(signature=Signature.make({"E": 2}), strict=True)
+        with pytest.raises(SignatureError):
+            s.add_fact(atom("U", a))
+
+    def test_arity_clash_rejected(self):
+        s = Structure([atom("E", a, b)])
+        with pytest.raises(ArityError):
+            s.add_fact(atom("E", a))
+
+    def test_discard_fact(self):
+        s = chain(a, b, c)
+        assert s.discard_fact(atom("E", a, b))
+        assert atom("E", a, b) not in s
+        assert not s.discard_fact(atom("E", a, b))
+        # index is updated too
+        assert not s.facts_with("E", 0, a)
+
+
+class TestIndexes:
+    def test_facts_with_pred(self):
+        s = Structure([atom("E", a, b), atom("U", a)])
+        assert s.facts_with_pred("E") == {atom("E", a, b)}
+
+    def test_facts_with_position(self):
+        s = chain(a, b, c)
+        assert s.facts_with("E", 1, b) == {atom("E", a, b)}
+        assert s.facts_with("E", 0, b) == {atom("E", b, c)}
+
+    def test_facts_about(self):
+        s = chain(a, b, c)
+        assert s.facts_about(b) == {atom("E", a, b), atom("E", b, c)}
+
+    def test_degree_matches_lemma3_measure(self):
+        s = chain(a, b, c)
+        assert s.degree(b) == 2
+        assert s.degree(a) == 1
+
+
+class TestGraphView:
+    def test_successors_predecessors(self):
+        s = chain(a, b, c)
+        assert s.successors(a) == {b}
+        assert s.predecessors(c) == {b}
+        assert s.successors(c) == frozenset()
+
+    def test_successors_by_predicate(self):
+        s = Structure([atom("E", a, b), atom("R", a, c)])
+        assert s.successors(a, "E") == {b}
+        assert s.successors(a) == {b, c}
+
+    def test_neighbours(self):
+        s = Structure([atom("E", a, b), atom("R", c, a)])
+        assert s.neighbours(a) == {b, c}
+
+
+class TestPaperNotation:
+    def test_constant_and_nonconstant_elements(self):
+        s = Structure([atom("E", a, n0), atom("E", n0, n1)])
+        assert s.constant_elements() == {a}
+        assert s.nonconstant_elements() == {n0, n1}
+
+    def test_restrict_elements(self):
+        s = chain(a, b, c)
+        restricted = s.restrict_elements([a, b])
+        assert restricted.facts() == {atom("E", a, b)}
+        assert restricted.domain() == {a, b}
+
+    def test_restrict_signature_keeps_domain(self):
+        s = Structure([atom("E", a, b), atom("K", a)])
+        restricted = s.restrict_signature(["E"])
+        assert restricted.facts() == {atom("E", a, b)}
+        assert restricted.domain() == s.domain()
+
+    def test_contains_structure(self):
+        big = chain(a, b, c)
+        small = chain(a, b)
+        assert big.contains_structure(small)
+        assert not small.contains_structure(big)
+
+    def test_same_facts(self):
+        assert chain(a, b).same_facts(chain(a, b))
+        assert not chain(a, b).same_facts(chain(b, a))
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = chain(a, b)
+        duplicate = original.copy()
+        duplicate.add_fact(atom("E", b, c))
+        assert atom("E", b, c) not in original
+        assert atom("E", b, c) in duplicate
+
+    def test_copy_preserves_isolated_elements(self):
+        original = Structure([atom("E", a, b)], domain=[c])
+        assert c in original.copy().domain()
+
+    def test_eq_compares_facts_and_domain(self):
+        assert chain(a, b) == chain(a, b)
+        assert chain(a, b) != Structure([atom("E", a, b)], domain=[c])

@@ -1,0 +1,92 @@
+"""Unit tests for repro.lf.terms."""
+
+import pytest
+
+from repro.lf import Constant, Null, NullFactory, Variable
+from repro.lf.terms import is_constant, is_ground, is_null, is_variable
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str(self):
+        assert str(Variable("x")) == "x"
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+
+
+class TestConstant:
+    def test_equality_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_distinct_from_variable_with_same_name(self):
+        assert Constant("x") != Variable("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Constant("")
+
+
+class TestNull:
+    def test_equality_by_ident_only(self):
+        # Provenance fields are compare=False: the same null observed at
+        # different levels is still the same element.
+        assert Null(3, rule_index=0, level=1) == Null(3, rule_index=5, level=9)
+        assert Null(3) != Null(4)
+
+    def test_hash_consistent_with_eq(self):
+        assert len({Null(1, 0, 0), Null(1, 2, 2)}) == 1
+
+    def test_str(self):
+        assert str(Null(7)) == "_:7"
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Null(0))
+
+    def test_is_null(self):
+        assert is_null(Null(0))
+        assert not is_null(Constant("a"))
+
+    def test_is_ground(self):
+        assert is_ground(Constant("a"))
+        assert is_ground(Null(0))
+        assert not is_ground(Variable("x"))
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory()
+        first, second = factory.fresh(), factory.fresh()
+        assert first != second
+        assert factory.issued == 2
+
+    def test_provenance_recorded(self):
+        factory = NullFactory()
+        null = factory.fresh(rule_index=2, level=5)
+        assert null.rule_index == 2
+        assert null.level == 5
+
+    def test_above_seeds_past_existing(self):
+        factory = NullFactory.above([Null(10), Constant("a"), Null(3)])
+        assert factory.fresh().ident == 11
+
+    def test_above_empty(self):
+        assert NullFactory.above([]).fresh().ident == 0

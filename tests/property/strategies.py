@@ -1,0 +1,82 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+Everything is kept small on purpose: the invariants under test are
+structural, and shrinking works best when the raw material is a handful
+of elements, predicates, and atoms.
+"""
+
+from hypothesis import strategies as st
+
+from repro.lf import Atom, Constant, Null, Rule, Structure, Theory, Variable
+
+#: A small pool of binary/unary predicate names.
+binary_preds = st.sampled_from(["E", "R", "S"])
+unary_preds = st.sampled_from(["U", "V"])
+
+#: Elements: a few constants and a few nulls.
+elements = st.one_of(
+    st.builds(Constant, st.sampled_from(["a", "b", "c"])),
+    st.builds(Null, st.integers(min_value=0, max_value=7)),
+)
+
+#: Variables drawn from a tiny pool (collisions intended).
+variables = st.builds(Variable, st.sampled_from(["x", "y", "z", "u", "w"]))
+
+
+@st.composite
+def facts(draw):
+    """A ground binary or unary fact."""
+    if draw(st.booleans()):
+        return Atom(draw(binary_preds), (draw(elements), draw(elements)))
+    return Atom(draw(unary_preds), (draw(elements),))
+
+
+@st.composite
+def structures(draw, min_facts=0, max_facts=12):
+    """A small structure over the shared pool."""
+    pool = draw(st.lists(facts(), min_size=min_facts, max_size=max_facts))
+    return Structure(pool)
+
+
+@st.composite
+def query_atoms(draw):
+    """A binary or unary atom over variables (and rare constants)."""
+    term = st.one_of(variables, st.builds(Constant, st.sampled_from(["a", "b"])))
+    if draw(st.booleans()):
+        return Atom(draw(binary_preds), (draw(term), draw(term)))
+    return Atom(draw(unary_preds), (draw(term),))
+
+
+@st.composite
+def conjunctive_queries(draw, max_atoms=4):
+    """A small Boolean CQ with at least one atom."""
+    from repro.lf import ConjunctiveQuery
+
+    atoms = draw(st.lists(query_atoms(), min_size=1, max_size=max_atoms))
+    return ConjunctiveQuery(atoms, ())
+
+
+@st.composite
+def safe_rules(draw):
+    """A rule whose head variables that are meant to be frontier come
+    from the body; one optional extra head variable is existential."""
+    body = draw(st.lists(query_atoms(), min_size=1, max_size=3))
+    body_vars = sorted({v for a in body for v in a.variable_set()})
+    if not body_vars:
+        body = [Atom("E", (Variable("x"), Variable("y")))]
+        body_vars = [Variable("x"), Variable("y")]
+    frontier = draw(st.sampled_from(body_vars))
+    make_existential = draw(st.booleans())
+    if make_existential:
+        head = Atom(draw(binary_preds), (frontier, Variable("zFresh")))
+    else:
+        other = draw(st.sampled_from(body_vars))
+        head = Atom(draw(binary_preds), (frontier, other))
+    return Rule(tuple(body), (head,))
+
+
+@st.composite
+def theories(draw, max_rules=3):
+    """A small single-head theory."""
+    pool = draw(st.lists(safe_rules(), min_size=1, max_size=max_rules))
+    return Theory(pool)

@@ -1,0 +1,99 @@
+"""Cross-validation: canonical-subquery types vs brute-force enumeration.
+
+The scientific heart of the ptypes package: the fast implementation
+(:func:`repro.ptypes.less_equal` & friends) is checked against the
+definitionally obvious enumerator on random tiny structures.
+
+Direction of the comparison (see the bruteforce docstring):
+
+* fast says ``ptp(d) ⊆ ptp(e)``  ⟹  *every* enumerated query true at d
+  is true at e (exactness of the fast "yes");
+* fast says ``⊄``  ⟹  enlarging the atom budget eventually exhibits a
+  separating query.  We check it constructively: the canonical witness
+  the fast implementation is built from *is* a separating query, so we
+  verify it directly instead of growing budgets.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lf import satisfies
+from repro.ptypes import equivalent, less_equal, type_queries
+from repro.ptypes.bruteforce import (
+    brute_force_equivalent,
+    brute_force_subsumed,
+    enumerate_type_queries,
+)
+
+from .strategies import structures
+
+RELAXED = settings(
+    max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestEnumerator:
+    def test_small_signature_counts(self):
+        # one binary predicate, no constants, n=2, ≤1 atom:
+        # atoms over {y, x0}: E(y,y), E(y,x0), E(x0,y) — E(x0,x0) has no y
+        queries = list(enumerate_type_queries({"E": 2}, [], 2, 1))
+        assert len(queries) == 3
+
+    def test_equality_queries_present(self):
+        from repro.lf import Constant
+
+        queries = list(enumerate_type_queries({}, [Constant("a")], 1, 1))
+        assert len(queries) == 1
+        assert queries[0].atoms[0].is_equality
+
+    def test_dedup_up_to_renaming(self):
+        queries = list(enumerate_type_queries({"E": 2}, [], 3, 1))
+        texts = [q.canonical() for q in queries]
+        assert len(texts) == len(set(texts))
+
+
+class TestFastYesIsExact:
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=7), st.integers(min_value=1, max_value=2))
+    def test_subsumption_agrees(self, structure, n):
+        domain = sorted(structure.domain(), key=str)[:3]
+        for left in domain:
+            for right in domain:
+                if less_equal(structure, left, right, n):
+                    assert brute_force_subsumed(
+                        structure, left, structure, right, n, max_atoms=2
+                    ), f"fast ⊆ but brute-force found a separator: {left} vs {right}"
+
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=7))
+    def test_equivalence_agrees(self, structure):
+        domain = sorted(structure.domain(), key=str)[:3]
+        for left in domain:
+            for right in domain:
+                if equivalent(structure, left, right, 2):
+                    assert brute_force_equivalent(structure, left, right, 2, max_atoms=2)
+
+
+class TestFastNoHasWitness:
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=7), st.integers(min_value=1, max_value=2))
+    def test_refusals_are_witnessed(self, structure, n):
+        """When the fast implementation refuses an inclusion, one of its
+        canonical generators is a concrete separating query."""
+        domain = sorted(structure.domain(), key=str)[:3]
+        for left in domain:
+            for right in domain:
+                if left == right or less_equal(structure, left, right, n):
+                    continue
+                separators = [
+                    q
+                    for q in type_queries(structure, left, n)
+                    if not satisfies(structure, q, {q.free[0]: right})
+                ]
+                assert separators, (
+                    f"fast says ptp({left}) ⊄ ptp({right}) at n={n} but no "
+                    "generator separates them"
+                )
+                # and each separator is genuinely in ptp(left):
+                for query in separators:
+                    assert satisfies(structure, query, {query.free[0]: left})

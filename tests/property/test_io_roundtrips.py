@@ -1,0 +1,46 @@
+"""Property-based round-trips for the serialisation layer."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.lf import (
+    Theory,
+    parse_rule,
+    parse_theory,
+    rule_to_text,
+    structure_from_dict,
+    structure_to_dict,
+    theory_to_text,
+)
+
+from .strategies import safe_rules, structures
+
+RELAXED = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestStructureRoundtrip:
+    @RELAXED
+    @given(structures())
+    def test_dict_roundtrip(self, structure):
+        back = structure_from_dict(structure_to_dict(structure))
+        assert back.same_facts(structure)
+        assert back.domain() == structure.domain()
+
+    @RELAXED
+    @given(structures())
+    def test_dict_deterministic(self, structure):
+        assert structure_to_dict(structure) == structure_to_dict(structure.copy())
+
+
+class TestRuleRoundtrip:
+    @RELAXED
+    @given(safe_rules())
+    def test_rule_text_roundtrip(self, rule):
+        assert parse_rule(rule_to_text(rule)) == rule
+
+    @RELAXED
+    @given(safe_rules(), safe_rules())
+    def test_theory_text_roundtrip(self, first, second):
+        theory = Theory([first, second])
+        assert parse_theory(theory_to_text(theory)) == theory

@@ -1,0 +1,132 @@
+"""Property-based tests for the logical foundations."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.lf import (
+    Structure,
+    homomorphisms,
+    satisfies,
+    structure_homomorphism,
+    structure_homomorphisms,
+)
+
+from .strategies import conjunctive_queries, structures
+
+RELAXED = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestHomomorphismInvariants:
+    @RELAXED
+    @given(structures(min_facts=1))
+    def test_identity_homomorphism_exists(self, structure):
+        """Every structure maps into itself (constants fixed)."""
+        mapping = structure_homomorphism(structure, structure)
+        assert mapping is not None
+        image = {fact.substitute(mapping) for fact in structure.facts()}
+        assert all(fact in structure for fact in image)
+
+    @RELAXED
+    @given(structures(min_facts=1), conjunctive_queries())
+    def test_bindings_actually_satisfy(self, structure, query):
+        """Every binding returned by the matcher makes all atoms facts."""
+        for binding in homomorphisms(query.atoms, structure):
+            for atom in query.atoms:
+                if atom.is_equality:
+                    left, right = (
+                        binding.get(t, t) if hasattr(t, "name") else t
+                        for t in atom.args
+                    )
+                    continue
+                assert atom.substitute(binding) in structure
+            break  # one witness suffices per example
+
+    @RELAXED
+    @given(structures(min_facts=1), conjunctive_queries())
+    def test_satisfaction_monotone_under_extension(self, structure, query):
+        """CQs are preserved when facts are added."""
+        if not satisfies(structure, query):
+            return
+        from repro.lf import Atom, Constant
+
+        extended = structure.copy()
+        extended.add_fact(Atom("Extra", (Constant("pad"),)))
+        for fact in structure.facts():
+            extended.add_fact(fact)
+        assert satisfies(extended, query)
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=6), structures(min_facts=1, max_facts=6))
+    def test_hom_composition(self, first, second):
+        """Homomorphisms compose."""
+        mapping = structure_homomorphism(first, second)
+        if mapping is None:
+            return
+        onward = structure_homomorphism(second, second)
+        assert onward is not None
+        composed = {
+            element: onward.get(image, image) for element, image in mapping.items()
+        }
+        for fact in first.facts():
+            assert fact.substitute(composed) in second
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=5))
+    def test_restriction_is_substructure(self, structure):
+        """C ↾ A is always contained in C."""
+        domain = sorted(structure.domain(), key=str)
+        half = domain[: max(1, len(domain) // 2)]
+        restricted = structure.restrict_elements(half)
+        assert structure.contains_structure(restricted)
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=6), conjunctive_queries(max_atoms=3))
+    def test_queries_preserved_under_homomorphic_image(self, structure, query):
+        """If C ⊨ Φ and h : C → D then D ⊨ Φ (for Boolean CQs without
+        constants — constants must be fixed, so we check self-maps)."""
+        if not satisfies(structure, query):
+            return
+        for mapping in structure_homomorphisms(structure, structure):
+            image = Structure(
+                fact.substitute(mapping) for fact in structure.facts()
+            )
+            assert satisfies(image, query)
+            break
+
+
+class TestCanonicalQueryProperties:
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8))
+    def test_canonical_query_true_at_origin(self, structure):
+        """The canonical query of any subset is satisfied at its anchor."""
+        from repro.lf import FREE_VARIABLE, canonical_query
+
+        domain = sorted(structure.domain(), key=str)
+        anchor = domain[0]
+        query = canonical_query(structure, set(domain[:3]) | {anchor}, anchor)
+        assert satisfies(structure, query, {FREE_VARIABLE: anchor})
+
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=8))
+    def test_connected_subsets_are_connected(self, structure):
+        """Every enumerated subset is variable-connected to the anchor."""
+        from repro.lf import Constant
+        from repro.lf.canonical import connected_subsets_containing
+
+        nonconstants = sorted(structure.nonconstant_elements(), key=str)
+        if not nonconstants:
+            return
+        anchor = nonconstants[0]
+        for subset in connected_subsets_containing(structure, anchor, 3):
+            # BFS within the subset from the anchor through shared facts
+            reached = {anchor}
+            frontier = [anchor]
+            while frontier:
+                node = frontier.pop()
+                for fact in structure.facts_about(node):
+                    for arg in fact.args:
+                        if arg in subset and arg not in reached and not isinstance(arg, Constant):
+                            reached.add(arg)
+                            frontier.append(arg)
+            assert reached == set(subset)

@@ -1,0 +1,127 @@
+"""Property-based tests for positive types and quotients.
+
+The central invariants of Section 2:
+
+* type generators are true at their origin;
+* ``≼_n`` is a preorder and ``≡_n`` an equivalence;
+* ``≡_n`` refines as n grows (Lemma 1's first claim);
+* the quotient map is a homomorphism with minimal relations (Def. 5);
+* quotient projections at consecutive n are compatible (Lemma 1).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lf import satisfies
+from repro.ptypes import (
+    TypePartition,
+    equivalent,
+    is_homomorphic_image,
+    less_equal,
+    projections_compatible,
+    quotient,
+    type_queries,
+)
+
+from .strategies import structures
+
+RELAXED = settings(
+    max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+SIZES = st.integers(min_value=1, max_value=3)
+
+
+class TestTypeGenerators:
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_generators_true_at_origin(self, structure, n):
+        for element in sorted(structure.domain(), key=str)[:4]:
+            for query in type_queries(structure, element, n):
+                assert satisfies(structure, query, {query.free[0]: element})
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_generator_count_monotone_in_n(self, structure, n):
+        element = sorted(structure.domain(), key=str)[0]
+        small = type_queries(structure, element, n)
+        large = type_queries(structure, element, n + 1)
+        assert len(small) <= len(large)
+
+
+class TestOrderProperties:
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_reflexive(self, structure, n):
+        for element in sorted(structure.domain(), key=str)[:4]:
+            assert less_equal(structure, element, element, n)
+
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=8), SIZES)
+    def test_transitive(self, structure, n):
+        domain = sorted(structure.domain(), key=str)[:4]
+        for a in domain:
+            for b in domain:
+                for c in domain:
+                    if less_equal(structure, a, b, n) and less_equal(structure, b, c, n):
+                        assert less_equal(structure, a, c, n)
+
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=8))
+    def test_equivalence_refines_downward(self, structure):
+        """d ≡_{n+1} e implies d ≡_n e (Lemma 1, first claim)."""
+        domain = sorted(structure.domain(), key=str)[:5]
+        for a in domain:
+            for b in domain:
+                if equivalent(structure, a, b, 3):
+                    assert equivalent(structure, a, b, 2)
+                    assert equivalent(structure, a, b, 1)
+
+    @RELAXED
+    @given(structures(min_facts=2, max_facts=8), SIZES)
+    def test_partition_is_consistent_partition(self, structure, n):
+        partition = TypePartition(structure, n)
+        classes = partition.classes()
+        union = {e for group in classes for e in group}
+        assert union == structure.domain()
+        flat = [e for group in classes for e in group]
+        assert len(flat) == len(union)  # disjoint
+
+
+class TestQuotientProperties:
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_projection_is_homomorphism(self, structure, n):
+        quotiented = quotient(structure, n)
+        for fact in structure.facts():
+            assert quotiented.project_fact(fact) in quotiented.structure
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_relations_minimal(self, structure, n):
+        assert is_homomorphic_image(quotient(structure, n))
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_constants_fixed(self, structure, n):
+        quotiented = quotient(structure, n)
+        for constant in structure.constant_elements():
+            assert quotiented.project(constant) == constant
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8))
+    def test_lemma1_compatibility(self, structure):
+        finer = quotient(structure, 3)
+        coarser = quotient(structure, 2)
+        assert projections_compatible(finer, coarser)
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8), SIZES)
+    def test_quotient_no_larger(self, structure, n):
+        assert quotient(structure, n).size <= structure.domain_size
+
+    @RELAXED
+    @given(structures(min_facts=1, max_facts=8))
+    def test_quotient_size_monotone_in_n(self, structure):
+        """Finer types, more classes."""
+        assert quotient(structure, 1).size <= quotient(structure, 2).size
+        assert quotient(structure, 2).size <= quotient(structure, 3).size

@@ -1,0 +1,129 @@
+"""Tests for the ≡_n partition and the quotient M_n(C) (Def. 4, 5, Lemma 1)."""
+
+import pytest
+
+from repro.lf import Constant, Null, Structure, atom
+from repro.ptypes import (
+    TypePartition,
+    equivalent,
+    induced_projection,
+    is_homomorphic_image,
+    projections_compatible,
+    quotient,
+)
+
+a, b = Constant("a"), Constant("b")
+n = [Null(i) for i in range(40)]
+
+
+def chain(length, start=0):
+    return Structure(atom("E", n[start + i], n[start + i + 1]) for i in range(length))
+
+
+class TestPartition:
+    def test_partition_refines_with_n(self):
+        s = chain(12)
+        sizes = [len(TypePartition(s, size).classes()) for size in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1  # all elements alike at n=1
+
+    def test_partition_matches_pairwise_equivalence(self):
+        s = chain(8)
+        partition = TypePartition(s, 2)
+        for left in s.domain():
+            for right in s.domain():
+                assert partition.same_class(left, right) == equivalent(s, left, right, 2)
+
+    def test_constants_singletons(self):
+        s = Structure([atom("E", a, n[0]), atom("E", b, n[1]), atom("E", n[0], n[1])])
+        partition = TypePartition(s, 1)
+        assert partition.class_index(a) != partition.class_index(b)
+
+    def test_restricted_elements(self):
+        s = chain(10)
+        interior = [n[i] for i in range(3, 8)]
+        partition = TypePartition(s, 2, elements=interior)
+        classes = partition.classes()
+        members = {e for group in classes for e in group}
+        assert members == set(interior)
+
+    def test_restricted_partition_uses_full_structure_types(self):
+        s = chain(10)
+        # n3..n7 are all interior chain elements; within the full chain
+        # they all have in+out edges, so at n=2 they are one class.
+        partition = TypePartition(s, 2, elements=[n[i] for i in range(3, 8)])
+        assert len(partition.classes()) == 1
+
+    def test_len(self):
+        s = chain(6)
+        assert len(TypePartition(s, 2)) == 3
+
+
+class TestQuotient:
+    def test_example3_quotient_shape(self):
+        """Example 3: M_n of an (uncolored) chain is a chain with a loop."""
+        s = chain(12)
+        q = quotient(s, 3)
+        m = q.structure
+        loops = [f for f in m.facts_with_pred("E") if f.args[0] == f.args[1]]
+        assert len(loops) == 1
+
+    def test_minimal_relations(self):
+        s = chain(8)
+        assert is_homomorphic_image(quotient(s, 2))
+
+    def test_projection_total_and_constantfixing(self):
+        s = Structure([atom("E", a, n[0]), atom("E", n[0], n[1])])
+        q = quotient(s, 2)
+        assert q.project(a) == a
+        assert set(q.projection) == set(s.domain())
+
+    def test_projection_is_homomorphism(self):
+        s = chain(8)
+        q = quotient(s, 2)
+        for fact in s.facts():
+            assert q.project_fact(fact) in q.structure
+
+    def test_fiber(self):
+        s = chain(8)
+        q = quotient(s, 2)
+        image = q.project(n[3])
+        assert n[3] in q.fiber(image)
+        assert q.project(n[4]) == image  # middle elements merge at n=2
+
+    def test_lemma1_compatibility(self):
+        s = chain(12)
+        finer = quotient(s, 3)
+        coarser = quotient(s, 2)
+        assert projections_compatible(finer, coarser)
+
+    def test_lemma1_induced_projection(self):
+        s = chain(12)
+        finer = quotient(s, 3)
+        coarser = quotient(s, 2)
+        mapping = induced_projection(finer, coarser)
+        for element in s.domain():
+            assert mapping[finer.project(element)] == coarser.project(element)
+
+    def test_induced_projection_is_homomorphism(self):
+        """Lemma 1 second claim: M_{n-1} is a homomorphic image of M_n."""
+        s = chain(12)
+        finer = quotient(s, 3)
+        coarser = quotient(s, 2)
+        mapping = induced_projection(finer, coarser)
+        for fact in finer.structure.facts():
+            assert fact.substitute(mapping) in coarser.structure
+
+    def test_incompatible_quotients_rejected(self):
+        left = quotient(chain(4), 2)
+        right = quotient(chain(4, start=10), 2)
+        with pytest.raises(ValueError):
+            projections_compatible(left, right)
+
+    def test_restricted_quotient_drops_frontier_facts(self):
+        s = chain(10)
+        interior = [n[i] for i in range(0, 6)]
+        q = quotient(s, 2, elements=interior)
+        assert q.structure.domain_size <= len(interior)
+        # no fact of the quotient involves an element outside the interior
+        assert all(e in q.projection for e in interior)

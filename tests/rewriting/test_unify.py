@@ -1,0 +1,104 @@
+"""Unit tests for repro.rewriting.unify."""
+
+from repro.lf import Constant, Variable, atom
+from repro.rewriting import Unifier, mgu, unify_all
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a, b = Constant("a"), Constant("b")
+
+
+class TestUnifier:
+    def test_trivial_find(self):
+        assert Unifier().find(x) == x
+
+    def test_union_and_find(self):
+        u = Unifier()
+        assert u.union(x, y)
+        assert u.find(x) == u.find(y)
+
+    def test_long_chain_path_compression(self):
+        u = Unifier()
+        variables = [Variable(f"v{i}") for i in range(50)]
+        for left, right in zip(variables, variables[1:]):
+            assert u.union(left, right)
+        root = u.find(variables[0])
+        assert all(u.find(v) == root for v in variables)
+
+    def test_constant_becomes_representative(self):
+        u = Unifier()
+        u.union(x, a)
+        assert u.find(x) == a
+
+    def test_constant_clash(self):
+        u = Unifier()
+        assert u.union(x, a)
+        assert not u.union(x, b)
+
+    def test_same_constant_ok(self):
+        u = Unifier()
+        u.union(x, a)
+        assert u.union(y, a)
+        assert u.find(x) == u.find(y)
+
+    def test_class_of(self):
+        u = Unifier()
+        u.union(x, y)
+        u.union(y, z)
+        assert u.class_of(x) == {x, y, z}
+        assert u.class_of(w) == {w}
+
+    def test_substitution_prefers_listed_variables(self):
+        u = Unifier()
+        u.union(x, y)
+        sub = u.substitution(prefer=[y])
+        assert sub.get(x) == y
+
+    def test_substitution_priority_order(self):
+        u = Unifier()
+        u.union(x, y)
+        sub = u.substitution(prefer=[x, y])
+        assert sub.get(y) == x
+
+    def test_substitution_constant_wins(self):
+        u = Unifier()
+        u.union(x, y)
+        u.union(y, a)
+        sub = u.substitution(prefer=[x])
+        assert sub[x] == a
+        assert sub[y] == a
+
+
+class TestMGU:
+    def test_simple(self):
+        sub = mgu(atom("E", x, y), atom("E", z, w))
+        assert sub is not None
+        e1 = atom("E", x, y).substitute(sub)
+        e2 = atom("E", z, w).substitute(sub)
+        assert e1 == e2
+
+    def test_with_constants(self):
+        sub = mgu(atom("E", x, a), atom("E", b, y))
+        assert sub[x] == b
+        assert sub[y] == a
+
+    def test_predicate_mismatch(self):
+        assert mgu(atom("E", x, y), atom("R", x, y)) is None
+
+    def test_arity_mismatch(self):
+        assert mgu(atom("E", x, y), atom("E", x)) is None
+
+    def test_constant_clash(self):
+        assert mgu(atom("E", a, x), atom("E", b, y)) is None
+
+    def test_repeated_variables(self):
+        sub = mgu(atom("E", x, x), atom("E", y, z))
+        merged = {atom("E", y, z).substitute(sub).args}
+        assert len({t for pair in merged for t in pair}) == 1
+
+    def test_unify_all(self):
+        unifier = unify_all([(atom("E", x, y), atom("E", z, w)), (atom("U", x), atom("U", a))])
+        assert unifier is not None
+        assert unifier.find(z) == a
+
+    def test_unify_all_failure(self):
+        assert unify_all([(atom("E", x, a), atom("E", x, b))]) is None

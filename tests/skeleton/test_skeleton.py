@@ -1,0 +1,108 @@
+"""Tests for the skeleton S(D,T) and Lemmas 3–4 (Section 3.2)."""
+
+import pytest
+
+from repro.chase import chase
+from repro.lf import Constant, atom, parse_structure, parse_theory
+from repro.skeleton import (
+    lemma3_report,
+    skeleton,
+    skeleton_of_chase,
+    verify_lemma4,
+)
+from repro.vtdag import is_vtdag
+
+a, b = Constant("a"), Constant("b")
+
+# Example 7's theory: one TGP (E... E is TGP; R is datalog-derived flesh)
+EXAMPLE7 = parse_theory(
+    """
+    E(x,y) -> exists z. E(y,z)
+    E(x,y), E(u,y) -> R(x,u)
+    """
+)
+TREE = parse_theory(
+    """
+    F(x,y) -> exists z. F(y,z)
+    F(x,y) -> exists z. G(y,z)
+    G(x,y) -> exists z. F(y,z)
+    G(x,y) -> exists z. G(y,z)
+    F(x,y) -> B(x,y)
+    G(x,y) -> B(x,y)
+    """
+)
+
+
+class TestSkeletonExtraction:
+    def test_database_atoms_kept(self):
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=5)
+        assert atom("E", a, b) in result.structure
+
+    def test_flesh_is_datalog_derived(self):
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=5)
+        assert result.flesh
+        assert all(fact.pred == "R" for fact in result.flesh)
+
+    def test_tgp_atoms_kept(self):
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=5)
+        tgp_atoms = [f for f in result.structure.facts() if f.pred == "E"]
+        assert len(tgp_atoms) == 6  # E(a,b) + 5 chase rounds
+
+    def test_domain_preserved(self):
+        database = parse_structure("E(a,b)")
+        chased = chase(database, EXAMPLE7, max_depth=5)
+        result = skeleton_of_chase(chased, database, EXAMPLE7)
+        assert result.structure.domain() == chased.structure.domain()
+
+    def test_tree_skeleton_drops_b_atoms(self):
+        result = skeleton(parse_structure("F(a,b)"), TREE, max_depth=3)
+        assert result.tgp_predicates == {"F", "G"}
+        assert not result.structure.facts_with_pred("B")
+        assert all(fact.pred == "B" for fact in result.flesh)
+
+
+class TestLemma3:
+    def test_chain_skeleton(self):
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=6)
+        report = lemma3_report(result)
+        assert report.all_hold
+        assert report.forest and report.acyclic and report.in_degree_at_most_one
+        assert report.degree_observed <= report.degree_bound
+
+    def test_tree_skeleton(self):
+        result = skeleton(parse_structure("F(a,b)"), TREE, max_depth=4)
+        report = lemma3_report(result)
+        assert report.all_hold
+        assert is_vtdag(result.structure)
+
+    def test_degree_bound_matches_paper(self):
+        # |Σ| + 1 with Σ the chase signature
+        result = skeleton(parse_structure("F(a,b)"), TREE, max_depth=4)
+        report = lemma3_report(result)
+        assert report.degree_bound == len(result.structure.signature.relation_names()) + 1
+
+
+class TestLemma4:
+    def test_chase_rebuilt_from_skeleton(self):
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=6)
+        verdict, reason = verify_lemma4(result, EXAMPLE7)
+        assert verdict, reason
+
+    def test_tree_chase_rebuilt(self):
+        result = skeleton(parse_structure("F(a,b)"), TREE, max_depth=4)
+        verdict, reason = verify_lemma4(result, TREE)
+        assert verdict, reason
+
+    def test_broken_skeleton_detected(self):
+        """Removing a single TGP atom breaks the rebuild (the paper's
+        remark after Lemma 4: a new element would be created)."""
+        result = skeleton(parse_structure("E(a,b)"), EXAMPLE7, max_depth=6)
+        # drop a TGP atom deep in the chain but keep its elements
+        tgp_atoms = sorted(
+            (f for f in result.structure.facts() if f.pred == "E"), key=str
+        )
+        victim = tgp_atoms[len(tgp_atoms) // 2]
+        result.structure.discard_fact(victim)
+        verdict, reason = verify_lemma4(result, EXAMPLE7)
+        assert not verdict
+        assert "witness" in reason or "not rebuilt" in reason

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+LINEAR = "E(x,y) -> exists z. E(y,z)"
+EXAMPLE7 = "E(x,y) -> exists z. E(y,z)\nE(x,y), E(u,y) -> R(x,u)"
+DB = "E(a,b)"
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestChase:
+    def test_basic(self, capsys):
+        code, out, _err = run(capsys, "-e", "chase", LINEAR, DB, "--depth", "4")
+        assert code == 0
+        assert "truncated at depth 4" in out
+        assert "E(a, b)" in out
+
+    def test_saturating(self, capsys):
+        code, out, _err = run(capsys, "-e", "chase", "E(x,y) -> E(y,x)", DB)
+        assert code == 0
+        assert "saturated" in out
+        assert "E(b, a)" in out
+
+    def test_explain(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "chase", "E(x,y), E(y,z) -> E(x,z)",
+            "E(a,b)\nE(b,c)", "--explain", "E"
+        )
+        assert code == 0
+        assert "derivation of" in out
+
+    def test_explain_missing_pred(self, capsys):
+        code, _out, err = run(capsys, "-e", "chase", LINEAR, DB, "--explain", "Zzz")
+        assert code == 1
+        assert "no Zzz-facts" in err
+
+    def test_files(self, capsys, tmp_path):
+        theory_file = tmp_path / "t.dlg"
+        theory_file.write_text(LINEAR)
+        db_file = tmp_path / "d.facts"
+        db_file.write_text(DB)
+        code, out, _err = run(capsys, "chase", str(theory_file), str(db_file), "--depth", "2")
+        assert code == 0
+        assert "E(a, b)" in out
+
+    def test_missing_file(self, capsys):
+        code, _out, err = run(capsys, "chase", "/nonexistent.dlg", "/nope.facts")
+        assert code == 1
+        assert "error" in err
+
+
+class TestCertain:
+    def test_boolean_certain(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "certain", LINEAR, DB, "E(x,y), E(y,z)"
+        )
+        assert code == 0
+        assert out.strip() == "certain"
+
+    def test_boolean_not_certain(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "certain", "E(x,y) -> E(y,x)", DB, "E(x,x)"
+        )
+        assert code == 0
+        assert out.strip() == "not-certain"
+
+    def test_boolean_unknown(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "certain", LINEAR, DB, "E(x,x)", "--depth", "4"
+        )
+        assert code == 2
+        assert out.strip() == "unknown"
+
+    def test_answers_with_free(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "certain", EXAMPLE7, DB, "R(x,u)", "--free", "x,u"
+        )
+        assert code == 0
+        assert "certain answers" in out
+        assert "a, a" in out
+
+
+class TestRewrite:
+    def test_saturating(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)", "--free", "x,u"
+        )
+        assert code == 0
+        assert "saturated: 3 disjuncts" in out
+        assert "k_psi" in out
+
+    def test_budget_exhaustion(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "rewrite", "E(x,y), E(y,z) -> E(x,z)",
+            "E(x,y)", "--free", "x,y", "--max-steps", "100", "--max-queries", "20"
+        )
+        assert code == 2
+        assert "incomplete" in out
+
+    def test_parse_error(self, capsys):
+        code, _out, err = run(capsys, "-e", "rewrite", "E(x,y) ->", "E(x,y)")
+        assert code == 1
+        assert "error" in err
+
+
+class TestClassify:
+    def test_profile(self, capsys):
+        code, out, _err = run(capsys, "-e", "classify", LINEAR)
+        assert code == 0
+        assert "linear: yes" in out
+        assert "guarded: yes" in out
+        assert "full_datalog: no" in out
+
+
+class TestCounterModel:
+    def test_counter_model_found(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "countermodel", LINEAR, DB, "E(x,x)"
+        )
+        assert code == 0
+        assert "verified finite counter-model" in out
+
+    def test_certain_query(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "countermodel", LINEAR, DB, "E(x,y), E(y,z)"
+        )
+        assert code == 3
+        assert "no counter-model" in out
+
+    def test_depth_override(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "countermodel", LINEAR, DB, "E(x,x)",
+            "--depths", "12,16"
+        )
+        assert code == 0
+        assert "depth=12" in out or "depth=16" in out
+
+
+class TestSkeleton:
+    def test_shape_report(self, capsys):
+        code, out, _err = run(capsys, "-e", "skeleton", EXAMPLE7, DB, "--depth", "5")
+        assert code == 0
+        assert "Lemma 3" in out
+        assert "forest=True" in out

@@ -1,0 +1,138 @@
+"""Tests for Sections 5.1 and 5.3 transformations."""
+
+import pytest
+
+from repro.chase import certain_boolean, chase
+from repro.lf import (
+    Constant,
+    Rule,
+    Variable,
+    atom,
+    parse_query,
+    parse_structure,
+    parse_theory,
+)
+from repro.lf.rules import Theory
+from repro.transforms import (
+    atoms_to_binary_encoding,
+    decode_structure_binary,
+    encode_structure_binary,
+    is_frontier_one,
+    multihead_to_singlehead,
+    split_frontier_one_heads,
+)
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestMultiheadToSinglehead:
+    def test_single_head_untouched(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        assert multihead_to_singlehead(theory) == theory
+
+    def test_datalog_multihead_split(self):
+        theory = parse_theory("E(x,y) -> U(x), U(y)")
+        converted = multihead_to_singlehead(theory)
+        assert converted.is_single_head
+        assert len(converted) == 2
+
+    def test_existential_multihead_join(self):
+        theory = Theory(
+            [Rule((atom("U", x),), (atom("R", x, z), atom("S", z, x)))]
+        )
+        converted = multihead_to_singlehead(theory)
+        assert converted.is_single_head
+        # one join TGD plus two splitters
+        assert len(converted) == 3
+        assert len(converted.tgds()) == 1
+
+    def test_shared_witness_preserved(self):
+        """The witness of R and S must be the same element."""
+        theory = Theory(
+            [Rule((atom("U", x),), (atom("R", x, z), atom("S", z, x)))]
+        )
+        converted = multihead_to_singlehead(theory)
+        database = parse_structure("U(a)")
+        result = chase(database, converted, max_depth=5)
+        r_facts = result.structure.facts_with_pred("R")
+        s_facts = result.structure.facts_with_pred("S")
+        assert len(r_facts) == 1 and len(s_facts) == 1
+        assert next(iter(r_facts)).args[1] == next(iter(s_facts)).args[0]
+
+    def test_certain_answers_preserved(self):
+        theory = Theory(
+            [Rule((atom("U", x),), (atom("R", x, z), atom("S", z, x)))]
+        )
+        converted = multihead_to_singlehead(theory)
+        database = parse_structure("U(a)")
+        query = parse_query("R('a', v), S(v, 'a')")
+        assert certain_boolean(database, theory, query, max_depth=4) is True
+        assert certain_boolean(database, converted, query, max_depth=4) is True
+
+
+class TestBinaryEncoding:
+    TERNARY = parse_theory("P(x,y,z) -> exists w. P(y,z,w)")
+
+    def test_rules_become_binary(self):
+        encoded = atoms_to_binary_encoding(self.TERNARY)
+        assert encoded.signature.is_binary
+        assert encoded.signature.max_arity == 2
+
+    def test_head_is_multihead(self):
+        encoded = atoms_to_binary_encoding(self.TERNARY)
+        assert len(encoded.rules[0].head) == 3  # one A^i per position
+
+    def test_structure_roundtrip(self):
+        database = parse_structure("P(a,b,c)\nQ(a)")
+        encoded = encode_structure_binary(database)
+        decoded = decode_structure_binary(encoded, database.signature)
+        assert decoded.same_facts(database)
+
+    def test_encoded_chase_simulates_original(self):
+        database = parse_structure("P(a,b,c)")
+        encoded_db = encode_structure_binary(database)
+        encoded_theory = atoms_to_binary_encoding(self.TERNARY)
+        result = chase(encoded_db, encoded_theory, max_depth=2)
+        decoded = decode_structure_binary(result.structure, database.signature)
+        # The original chase at depth 2 creates P(b,c,w1), P(c,w1,w2)
+        original = chase(database, self.TERNARY, max_depth=2)
+        assert len(decoded.facts_with_pred("P")) == len(
+            original.structure.facts_with_pred("P")
+        )
+
+
+class TestFrontierOneSplit:
+    def test_recognizer(self):
+        good = parse_theory("E(x,y), E(u,y) -> exists z. R(y,z)").rules[0]
+        bad = parse_theory("E(x,y) -> exists z. R(x,y,z)").rules[0]
+        assert is_frontier_one(good)
+        assert not is_frontier_one(bad)
+
+    def test_spade5_rules_untouched(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        assert split_frontier_one_heads(theory) == theory
+
+    def test_multi_witness_head_split(self):
+        theory = Theory(
+            [Rule((atom("U", y),), (atom("T", y, z, w),))]
+        )
+        converted = split_frontier_one_heads(theory)
+        # two binary-head TGDs plus a join rule
+        assert len(converted) == 3
+        tgds = converted.tgds()
+        assert all(r.head_atom.arity == 2 for r in tgds)
+
+    def test_split_certain_answers(self):
+        theory = Theory(
+            [Rule((atom("U", y),), (atom("T", y, z, w),))]
+        )
+        converted = split_frontier_one_heads(theory)
+        database = parse_structure("U(a)")
+        query = parse_query("T('a', v, u)")
+        assert certain_boolean(database, theory, query, max_depth=4) is True
+        assert certain_boolean(database, converted, query, max_depth=4) is True
+
+    def test_wide_frontier_rejected(self):
+        theory = parse_theory("E(x,y) -> exists z. R(x,y,z)")
+        with pytest.raises(ValueError):
+            split_frontier_one_heads(theory)

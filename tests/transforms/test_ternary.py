@@ -1,0 +1,113 @@
+"""Tests for the Section 5.2 general → ternary reduction."""
+
+import pytest
+
+from repro.chase import certain_boolean, chase
+from repro.lf import Constant, Variable, atom, parse_query, parse_structure, parse_theory
+from repro.transforms import flatten_atom, ternary_reduction
+
+x, y, z, t = Variable("x"), Variable("y"), Variable("z"), Variable("t")
+
+
+class TestFlattenAtom:
+    def test_small_atoms_untouched(self):
+        small = atom("P", x, y, z)
+        assert flatten_atom(small, {}) == [small]
+
+    def test_arity4_chain_shape(self):
+        chain = flatten_atom(atom("R", x, y, z, t), {})
+        assert [a.pred for a in chain] == ["R__1", "R__2", "R__last"]
+        assert chain[0].args[:2] == (x, y)
+        assert chain[1].args[1] == z
+        assert chain[2].args[1] == t
+        # list nodes are threaded
+        assert chain[0].args[2] == chain[1].args[0]
+        assert chain[1].args[2] == chain[2].args[0]
+
+    def test_arity5_chain_shape(self):
+        v = Variable("v")
+        chain = flatten_atom(atom("R", x, y, z, t, v), {})
+        assert [a.pred for a in chain] == ["R__1", "R__2", "R__3", "R__last"]
+        assert chain[-1].args[1] == v
+
+    def test_fresh_counter_shared(self):
+        fresh = {}
+        first = flatten_atom(atom("R", x, y, z, t), fresh)
+        second = flatten_atom(atom("R", x, y, z, t), fresh)
+        first_nodes = {a.args[2] for a in first[:-1]}
+        second_nodes = {a.args[2] for a in second[:-1]}
+        assert not first_nodes & second_nodes
+
+
+class TestTernaryReduction:
+    QUATERNARY = parse_theory("P(x,y,z,x) -> exists t. R(x,y,z,t)")
+
+    def test_output_is_ternary(self):
+        reduction = ternary_reduction(self.QUATERNARY)
+        assert reduction.theory.signature.max_arity <= 3
+
+    def test_paper_cascade_count(self):
+        """The worked example produces exactly three rules."""
+        reduction = ternary_reduction(self.QUATERNARY)
+        assert len(reduction.theory) == 3
+
+    def test_small_theory_untouched(self):
+        theory = parse_theory("E(x,y) -> exists z. E(y,z)")
+        assert ternary_reduction(theory).theory == theory
+
+    def test_database_translation(self):
+        reduction = ternary_reduction(self.QUATERNARY)
+        database = parse_structure("P(a,b,c,a)")
+        translated = reduction.translate_database(database)
+        assert translated.signature.max_arity <= 3
+        assert len(translated.facts_with_pred("P__1")) == 1
+        assert len(translated.facts_with_pred("P__last")) == 1
+        # list nodes materialised as fresh constants
+        assert translated.domain_size > database.domain_size
+
+    def test_query_translation(self):
+        reduction = ternary_reduction(self.QUATERNARY)
+        query = parse_query("R(x,y,z,t)")
+        translated = reduction.translate_query(query)
+        assert all(a.arity <= 3 for a in translated.atoms)
+
+    def test_certain_answers_preserved(self):
+        """Chase(D', T') ⊨ Q' iff Chase(D, T) ⊨ Q on the worked example."""
+        reduction = ternary_reduction(self.QUATERNARY)
+        database = parse_structure("P(a,b,c,a)")
+        translated_db = reduction.translate_database(database)
+
+        positive = parse_query("R('a', 'b', 'c', t)")
+        negative = parse_query("R('b', 'a', 'c', t)")
+        assert certain_boolean(database, self.QUATERNARY, positive, max_depth=4) is True
+        assert (
+            certain_boolean(
+                translated_db,
+                reduction.theory,
+                reduction.translate_query(positive),
+                max_depth=6,
+            )
+            is True
+        )
+        assert certain_boolean(database, self.QUATERNARY, negative, max_depth=4) is not True
+        assert (
+            certain_boolean(
+                translated_db,
+                reduction.theory,
+                reduction.translate_query(negative),
+                max_depth=6,
+            )
+            is not True
+        )
+
+    def test_multihead_rejected(self):
+        theory = parse_theory("E(x,y) -> U(x), U(y)")
+        with pytest.raises(ValueError):
+            ternary_reduction(theory)
+
+    def test_big_body_viewed(self):
+        theory = parse_theory("R(x,y,z,t) -> E(x,t)")
+        reduction = ternary_reduction(theory)
+        rule = reduction.theory.rules[0]
+        assert all(a.arity <= 3 for a in rule.body)
+        assert rule.is_datalog

@@ -1,0 +1,105 @@
+"""Tests for VTDAG recognition and predecessor sets (Def. 10, 11, 13)."""
+
+from repro.lf import Constant, Null, Structure, atom
+from repro.vtdag import (
+    is_forest,
+    is_vtdag,
+    iterated_predecessors,
+    max_degree,
+    predecessor_neighbourhood,
+    predecessor_set,
+    vtdag_report,
+)
+
+a, b = Constant("a"), Constant("b")
+n = [Null(i) for i in range(20)]
+
+
+def chain(length):
+    return Structure(atom("E", n[i], n[i + 1]) for i in range(length))
+
+
+class TestPredecessorSets:
+    def test_constant_is_its_own_set(self):
+        s = Structure([atom("E", n[0], a)])
+        assert predecessor_set(s, a) == {a}
+
+    def test_nonconstant_includes_parents(self):
+        s = chain(3)
+        assert predecessor_set(s, n[1]) == {n[0], n[1]}
+
+    def test_constant_parents_excluded(self):
+        s = Structure([atom("E", a, n[0]), atom("E", n[1], n[0])])
+        assert predecessor_set(s, n[0]) == {n[0], n[1]}
+
+    def test_iterated(self):
+        s = chain(6)
+        assert iterated_predecessors(s, n[4], 0) == {n[3], n[4]}
+        assert iterated_predecessors(s, n[4], 1) == {n[2], n[3], n[4]}
+        assert iterated_predecessors(s, n[4], 3) == {n[0], n[1], n[2], n[3], n[4]}
+
+    def test_iterated_stops_at_closure(self):
+        s = chain(3)
+        assert iterated_predecessors(s, n[2], 50) == {n[0], n[1], n[2]}
+
+    def test_neighbourhood_includes_constants(self):
+        s = Structure([atom("E", a, b), atom("E", n[0], n[1])])
+        hood = predecessor_neighbourhood(s, n[1])
+        assert a in hood.domain()
+        assert atom("E", a, b) in hood
+
+
+class TestVTDAG:
+    def test_tree_is_vtdag(self):
+        tree = Structure(
+            [atom("F", n[0], n[1]), atom("G", n[0], n[2]), atom("F", n[1], n[3])]
+        )
+        assert is_vtdag(tree)
+
+    def test_chain_is_vtdag_and_forest(self):
+        s = chain(6)
+        assert is_vtdag(s)
+        assert is_forest(s)
+
+    def test_directed_cycle_rejected(self):
+        cycle = Structure(
+            [atom("E", n[0], n[1]), atom("E", n[1], n[2]), atom("E", n[2], n[0])]
+        )
+        report = vtdag_report(cycle)
+        assert not report.is_vtdag
+        assert any("cycle" in v for v in report.violations)
+
+    def test_two_parents_same_relation_rejected(self):
+        s = Structure([atom("E", n[0], n[2]), atom("E", n[1], n[2])])
+        report = vtdag_report(s)
+        assert not report.is_vtdag
+        assert any("predecessors" in v for v in report.violations)
+
+    def test_two_parents_different_relations_need_clique(self):
+        # n2 has parents n0 (via E) and n1 (via R); they are unrelated,
+        # so P(n2) is not a directed clique.
+        s = Structure([atom("E", n[0], n[2]), atom("R", n[1], n[2])])
+        report = vtdag_report(s)
+        assert not report.is_vtdag
+        assert any("clique" in v for v in report.violations)
+
+    def test_vtdag_with_comparable_parents(self):
+        # n2's parents are n0, n1 with n0 also a parent of n1: a clique.
+        s = Structure(
+            [atom("E", n[0], n[1]), atom("R", n[0], n[2]), atom("E", n[1], n[2])]
+        )
+        assert is_vtdag(s)
+        assert not is_forest(s)  # two non-constant parents
+
+    def test_constants_do_not_break_vtdag(self):
+        # many edges from constants are fine: P only sees non-constants
+        s = Structure([atom("E", a, n[0]), atom("R", b, n[0]), atom("E", n[0], n[1])])
+        assert is_vtdag(s)
+
+    def test_forest_rejects_two_parents(self):
+        s = Structure([atom("E", n[0], n[2]), atom("R", n[1], n[2])])
+        assert not is_forest(s)
+
+    def test_max_degree(self):
+        star = Structure([atom("E", n[0], n[i]) for i in range(1, 6)])
+        assert max_degree(star) == 5

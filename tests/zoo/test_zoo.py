@@ -1,0 +1,162 @@
+"""Tests for the zoo: the paper's named objects behave as described."""
+
+import pytest
+
+from repro.chase import certain_boolean, chase, is_weakly_acyclic
+from repro.classes import classify, is_guarded, is_linear
+from repro.lf import parse_query
+from repro.rewriting import RewriteConfig, bdd_profile
+from repro.vtdag import is_forest, is_vtdag, max_degree
+from repro.zoo import (
+    binary_tree_structure,
+    chain_growth_theory,
+    chain_structure,
+    cycle_structure,
+    example1_database,
+    example1_theory,
+    example1_triangle,
+    example3_chain,
+    example6_total_order,
+    example7_database,
+    example7_theory,
+    example9_database,
+    example9_theory,
+    grid_structure,
+    guarded_example_theory,
+    lemma13_bounded_degree_structure,
+    random_edges_database,
+    random_linear_theory,
+    remark3_database,
+    remark3_theory,
+    section54_theory,
+    section55_database,
+    section55_theory,
+    theorem2_corpus,
+    transitive_theory,
+)
+
+
+class TestPaperObjects:
+    def test_example1_chain_behaviour(self):
+        result = chase(example1_database(), example1_theory(), max_depth=6)
+        assert not result.structure.facts_with_pred("U")
+
+    def test_example1_triangle_diverges(self):
+        result = chase(example1_triangle(), example1_theory(), max_depth=5)
+        assert result.structure.facts_with_pred("U")
+        assert not result.saturated
+
+    def test_example3_chain_shape(self):
+        chain = example3_chain(10)
+        assert is_forest(chain)
+        assert len(chain) == 10
+
+    def test_example6_order_is_dense(self):
+        order = example6_total_order(6)
+        assert len(order) == 15  # C(6,2)
+        assert not is_vtdag(order)
+
+    def test_remark3_theory_parts(self):
+        theory = remark3_theory()
+        assert len(theory.tgds()) == 1
+        assert len(theory.datalog_rules()) == 1
+        assert remark3_database().domain_size == 3
+
+    def test_example7_is_bdd(self):
+        profile = bdd_profile(example7_theory())
+        assert profile.saturated
+        assert profile.kappa == 3
+
+    def test_example9_tree_growth(self):
+        result = chase(example9_database(), example9_theory(), max_depth=4)
+        # binary tree: 2 + 2 + 4 + 8 + 16 elements
+        assert len(result.new_elements) == 2 + 4 + 8 + 16
+
+    def test_section54_theory_shape(self):
+        theory = section54_theory()
+        assert not theory.is_binary
+        assert len(theory.tgds()) == 1
+
+    def test_section55_chase_has_doubling_R(self):
+        result = chase(section55_database(), section55_theory(), max_depth=8)
+        r_facts = result.structure.facts_with_pred("R")
+        # R(a_i, a_2i): R(a0,a0) plus derived ones
+        assert len(r_facts) >= 4
+
+    def test_section55_phi_never_observed(self):
+        verdict = certain_boolean(
+            section55_database(),
+            section55_theory(),
+            parse_query("E(x,y), R(y,y)"),
+            max_depth=8,
+        )
+        assert verdict is not True
+
+    def test_lemma13_structure_degree(self):
+        structure = lemma13_bounded_degree_structure()
+        assert max_degree(structure) <= 4
+
+    def test_guarded_example_guarded(self):
+        assert is_guarded(guarded_example_theory())
+
+    def test_corpus_entries_valid(self):
+        corpus = theorem2_corpus()
+        assert len(corpus) >= 5
+        for name, theory, database, query in corpus:
+            assert theory.is_binary, name
+            # queries are not certain: a counter-model should exist
+            verdict = certain_boolean(database, theory, query, max_depth=6)
+            assert verdict is not True, name
+
+    def test_corpus_theories_bdd(self):
+        config = RewriteConfig(max_steps=5_000, max_queries=500)
+        for name, theory, _db, _q in theorem2_corpus():
+            profile = bdd_profile(theory, config)
+            assert profile.saturated, name
+
+
+class TestGenerators:
+    def test_chain_constants_flag(self):
+        anonymous = chain_structure(5)
+        named = chain_structure(5, constants=True)
+        assert not anonymous.constant_elements()
+        assert len(named.constant_elements()) == 6
+
+    def test_cycle(self):
+        cycle = cycle_structure(5)
+        assert len(cycle) == 5
+        assert not is_forest(cycle)
+
+    def test_binary_tree_size(self):
+        tree = binary_tree_structure(3)
+        assert tree.domain_size == 2 ** 4 - 1
+
+    def test_grid(self):
+        grid = grid_structure(3, 4)
+        assert grid.domain_size == 12
+        assert len(grid.facts_with_pred("H")) == 9
+        assert len(grid.facts_with_pred("V")) == 8
+
+    def test_random_database_deterministic(self):
+        left = random_edges_database(10, 20, seed=7)
+        right = random_edges_database(10, 20, seed=7)
+        assert left.same_facts(right)
+        assert len(left) == 20
+
+    def test_random_linear_theory_is_linear(self):
+        theory = random_linear_theory(4, 10, seed=3)
+        assert is_linear(theory)
+        assert len(theory) == 10
+
+    def test_random_linear_theory_deterministic(self):
+        assert random_linear_theory(4, 10, seed=3) == random_linear_theory(4, 10, seed=3)
+
+    def test_chain_growth_theory(self):
+        theory = chain_growth_theory(3)
+        assert len(theory.tgds()) == 3
+        assert not is_weakly_acyclic(theory)
+
+    def test_transitive_theory(self):
+        profile = classify(transitive_theory())
+        assert profile["full_datalog"]
+        assert profile["weakly_acyclic"]
