@@ -9,8 +9,9 @@ import pytest
 from repro.lf import parse_query
 from repro.rewriting import RewriteConfig, bdd_profile, rewrite
 from repro.zoo import random_linear_theory
+from repro.config import OnBudget
 
-CONFIG = RewriteConfig(max_steps=50_000, max_queries=5_000, on_budget="return")
+CONFIG = RewriteConfig(max_steps=50_000, max_queries=5_000, on_budget=OnBudget.RETURN)
 
 
 @pytest.mark.parametrize("rules", [4, 8, 12])

@@ -1,0 +1,139 @@
+"""Smoke benchmark: reduced-size chase workloads, JSON scoreboard.
+
+A standalone script (no pytest-benchmark needed) that times the
+workloads of ``bench_perf_chase`` and ``bench_ablation_seminaive`` at
+reduced sizes and writes ``BENCH_chase.json`` next to this file — a
+cheap scoreboard a CI step or the next working session can diff.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
+    PYTHONPATH=src python benchmarks/run_smoke.py --full   # bench-file sizes
+
+Timings are medians over ``--repeat`` runs; the stats counters
+(triggers, probes, facts) are deterministic and the real payload — a
+regression shows up there even on a noisy machine.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase import ChaseConfig, ChaseStrategy, chase, seminaive_saturate
+from repro.zoo import (
+    chain_growth_theory,
+    chain_structure,
+    random_edges_database,
+    transitive_theory,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
+
+
+def timed(fn, repeat):
+    """(median wall seconds, last result) over *repeat* runs."""
+    samples = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
+
+
+def chase_entry(name, database, theory, config, repeat):
+    wall, result = timed(lambda: chase(database, theory, config), repeat)
+    stats = result.stats
+    return {
+        "workload": name,
+        "strategy": stats.strategy,
+        "wall_s": round(wall, 6),
+        "depth": result.depth,
+        "facts": len(result.structure),
+        "triggers_evaluated": stats.triggers_evaluated,
+        "triggers_fired": stats.triggers_fired,
+        "triggers_suppressed": stats.triggers_suppressed,
+        "index_probes": stats.index_probes,
+        "rounds": len(stats.rounds),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="run at the bench-file sizes instead of reduced")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (median is reported)")
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    depth = 40 if args.full else 20
+    tc_size, tc_edges = (40, 80) if args.full else (15, 30)
+    chain_len = 60 if args.full else 25
+
+    growth_theory = chain_growth_theory(3)
+    growth_db = random_edges_database(4, 6, predicates=("P0",), seed=7)
+    tc_theory = transitive_theory()
+    tc_db = random_edges_database(tc_size, tc_edges, seed=42)
+
+    entries = []
+    speedups = {}
+
+    # bench_perf_chase: deep existential recursive chain, both strategies
+    per_strategy = {}
+    for strategy in (ChaseStrategy.NAIVE, ChaseStrategy.DELTA):
+        entry = chase_entry(
+            f"recursive-chain-d{depth}", growth_db, growth_theory,
+            ChaseConfig(max_depth=depth, strategy=strategy), args.repeat,
+        )
+        per_strategy[strategy.value] = entry
+        entries.append(entry)
+    speedups["recursive_chain"] = round(
+        per_strategy["naive"]["wall_s"] / max(per_strategy["delta"]["wall_s"], 1e-9), 2
+    )
+
+    # bench_perf_chase: transitive closure (datalog, saturating)
+    for strategy in (ChaseStrategy.NAIVE, ChaseStrategy.DELTA):
+        entries.append(chase_entry(
+            f"transitive-closure-{tc_size}n{tc_edges}e", tc_db, tc_theory,
+            ChaseConfig(max_depth=None, max_facts=500_000, strategy=strategy),
+            args.repeat,
+        ))
+
+    # bench_ablation_seminaive: the dedicated datalog fast path on chains
+    chain_db = chain_structure(chain_len, constants=True)
+    wall, closure = timed(
+        lambda: seminaive_saturate(chain_db, tc_theory), args.repeat
+    )
+    expected = chain_len * (chain_len + 1) // 2
+    assert len(closure) == expected, (len(closure), expected)
+    entries.append({
+        "workload": f"seminaive-chain-{chain_len}",
+        "strategy": "seminaive_saturate",
+        "wall_s": round(wall, 6),
+        "facts": len(closure),
+    })
+
+    payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "entries": entries,
+        "speedups": speedups,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for entry in entries:
+        print(f"{entry['workload']:>34} {entry['strategy']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  {entry['facts']} facts")
+    print(f"naive/delta speedup on the recursive chain: "
+          f"{speedups['recursive_chain']}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ executable reproduction of every example in the paper.
 
 from . import chase, classes, coloring, core, fc, lf, ptypes, rewriting
 from . import skeleton, transforms, vtdag, zoo
+from .config import BudgetedConfig, OnBudget
 from .lf import (
     Atom,
     ConjunctiveQuery,
@@ -49,9 +50,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "BudgetedConfig",
     "ConjunctiveQuery",
     "Constant",
     "Null",
+    "OnBudget",
     "Rule",
     "Signature",
     "Structure",

@@ -10,9 +10,16 @@ Quick tour
 5
 """
 
-from .certain import certain_answers, certain_boolean, chase_entails
+from .certain import (
+    CertainReport,
+    certain_answers,
+    certain_boolean,
+    certain_report,
+    chase_entails,
+)
 from .engine import (
     ChaseConfig,
+    ChaseStrategy,
     chase,
     chase_step,
     chase_with_embargo,
@@ -24,6 +31,7 @@ from .levels import chase_levels, observed_derivation_depth, query_depth_profile
 from .provenance import Derivation, deepest_derivation, explain, explain_all
 from .results import ChaseResult
 from .seminaive import seminaive_saturate
+from .stats import ChaseStats, RoundStats
 from .termination import (
     DependencyGraph,
     dependency_graph,
@@ -32,12 +40,17 @@ from .termination import (
 )
 
 __all__ = [
+    "CertainReport",
     "ChaseConfig",
     "ChaseResult",
+    "ChaseStats",
+    "ChaseStrategy",
     "DependencyGraph",
     "Derivation",
+    "RoundStats",
     "certain_answers",
     "certain_boolean",
+    "certain_report",
     "chase",
     "chase_entails",
     "chase_levels",

@@ -10,10 +10,17 @@ harness below works level by level and reports three-valued verdicts:
 * ``None``  — the budget was exhausted with the query still absent; on
   a BDD theory, combine with the rewriting engine
   (:mod:`repro.rewriting`) for a definite answer.
+
+:func:`certain_report` is the full-fat entry point: one chase run, the
+verdict, the answer relation, and the run's
+:class:`~repro.chase.stats.ChaseStats` in a single
+:class:`CertainReport`.  :func:`certain_boolean` and
+:func:`certain_answers` are thin compatibility wrappers over it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Set, Tuple
 
 from ..lf.homomorphism import all_answers, satisfies
@@ -23,8 +30,84 @@ from ..lf.structures import Structure
 from ..lf.terms import Constant, Element
 from .engine import ChaseConfig, chase
 from .results import ChaseResult
+from .stats import ChaseStats
 
 Query = "ConjunctiveQuery | UnionOfConjunctiveQueries"
+
+
+@dataclass
+class CertainReport:
+    """Everything one chase-based certain-answer computation produced.
+
+    Attributes
+    ----------
+    verdict:
+        The three-valued Boolean verdict (module docstring).  For a
+        query with free variables: ``True`` iff some certain answer
+        exists, ``False`` iff the chase saturated with none, ``None``
+        when the budget ran out with none found.
+    answers:
+        The certain answer tuples (constants only; ``{()}`` for a
+        satisfied Boolean query).
+    complete:
+        Whether the chase saturated, making *answers* provably complete.
+    result:
+        The underlying :class:`~repro.chase.ChaseResult` (structure,
+        depth, fact levels, stats).
+    """
+
+    verdict: "Optional[bool]"
+    answers: "Set[Tuple[Element, ...]]"
+    complete: bool
+    result: ChaseResult
+
+    @property
+    def stats(self) -> "Optional[ChaseStats]":
+        """The chase run's instrumentation (see :class:`ChaseStats`)."""
+        return self.result.stats
+
+
+def certain_report(
+    database: Structure,
+    theory: Theory,
+    query: Query,
+    config: "Optional[ChaseConfig]" = None,
+    max_depth: "Optional[int]" = 20,
+    max_facts: "Optional[int]" = 200_000,
+) -> CertainReport:
+    """Chase once and report verdict, answers, and instrumentation.
+
+    When *config* is given it is used as-is (the ``max_depth`` /
+    ``max_facts`` shorthands are ignored); otherwise a config is built
+    from the shorthands with ``max_elements=None``, matching the legacy
+    wrappers.
+    """
+    if config is None:
+        config = ChaseConfig(
+            max_depth=max_depth, max_facts=max_facts, max_elements=None
+        )
+    result = chase(database, theory, config)
+    if getattr(query, "is_boolean", False):
+        # Short-circuit: one witnessing homomorphism settles a Boolean
+        # query, no need to enumerate the whole answer relation.
+        answers = {()} if satisfies(result.structure, query) else set()
+    else:
+        raw = all_answers(result.structure, query)
+        answers = {
+            row for row in raw if all(isinstance(value, Constant) for value in row)
+        }
+    if answers:
+        verdict: "Optional[bool]" = True
+    elif result.saturated:
+        verdict = False
+    else:
+        verdict = None
+    return CertainReport(
+        verdict=verdict,
+        answers=answers,
+        complete=result.saturated,
+        result=result,
+    )
 
 
 def certain_boolean(
@@ -38,16 +121,10 @@ def certain_boolean(
 
     See the module docstring for the meaning of the verdicts.
     """
-    result = chase(
-        database,
-        theory,
-        ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+    report = certain_report(
+        database, theory, query, max_depth=max_depth, max_facts=max_facts
     )
-    if satisfies(result.structure, query):
-        return True
-    if result.saturated:
-        return False
-    return None
+    return report.verdict
 
 
 def certain_answers(
@@ -64,16 +141,10 @@ def certain_answers(
     nulls are not part of any real database), and whether the chase
     saturated (making the answer set provably complete).
     """
-    result = chase(
-        database,
-        theory,
-        ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+    report = certain_report(
+        database, theory, query, max_depth=max_depth, max_facts=max_facts
     )
-    raw = all_answers(result.structure, query)
-    answers = {
-        row for row in raw if all(isinstance(value, Constant) for value in row)
-    }
-    return answers, result.saturated
+    return report.answers, report.complete
 
 
 def chase_entails(

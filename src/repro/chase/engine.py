@@ -13,16 +13,49 @@ Implements the paper's chase (Section 1.1) faithfully:
   single fresh null.  This is what makes Lemma 3(iv) true — "for any
   fixed a ∈ S and TGP R at most one b can exist with S ⊨ R(a, b)".
 
+Two evaluation strategies compute the *same* rounds (property-tested
+fact-for-fact equal, nulls included):
+
+* ``"delta"`` (default) — semi-naive trigger enumeration generalised
+  from :mod:`repro.chase.seminaive` to existential TGDs.  A rule body
+  ``B_1 … B_k`` is evaluated as the union of the k plans "``B_i`` from
+  the previous round's delta, the rest from the full indexed
+  structure".  Sound because visibility only grows: a body match whose
+  facts all predate the last round was enumerated in an earlier round,
+  and its head has been satisfied ever since (it either fired or was
+  suppressed) — so only delta-touching matches can still demand
+  anything.  Cost per round is proportional to the *new* work, where
+  the naive strategy re-enumerates every match of every rule each
+  round (quadratic in chase depth on growing instances).
+
+* ``"naive"`` — the literal ``Chase^1`` iteration, kept for
+  faithfulness ablations and forced automatically for oblivious runs
+  (an oblivious trigger re-fires every round, so old matches can never
+  be skipped).
+
+Neither strategy copies the structure: a round evaluates against the
+working structure and buffers its insertions until all triggers of the
+round are enumerated, which *is* the paper's "all triggers evaluated at
+the start of the round" semantics.  Witnesses are assigned in a
+canonical order at the end of the round, making null identities
+independent of enumeration order (and hence of the strategy).
+
 An *oblivious* mode (every trigger creates a witness, used only for
 contrast experiments) and a *new-element embargo* mode (used by the
 Theorem-2 pipeline to realise Lemma 5's claim) are provided as flags.
+Every run records a :class:`~repro.chase.stats.ChaseStats` on its
+result — per-round wall time, trigger/delta counters, and index-probe
+counts.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..config import BudgetedConfig, OnBudget, coerce_enum
 from ..errors import ChaseBudgetExceeded, NewElementEmbargoViolation
 from ..lf.atoms import Atom
 from ..lf.homomorphism import find_homomorphism, homomorphisms
@@ -30,10 +63,25 @@ from ..lf.rules import Rule, Theory
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null, NullFactory, Variable
 from .results import ChaseResult
+from .seminaive import _delta_bindings
+from .stats import ChaseStats, RoundStats
+
+
+class ChaseStrategy(str, Enum):
+    """How a round's triggers are enumerated (semantics are identical)."""
+
+    DELTA = "delta"
+    NAIVE = "naive"
+
+    @classmethod
+    def coerce(cls, value: "ChaseStrategy | str") -> "ChaseStrategy":
+        """Accept the enum or its string value (no deprecation: strings
+        are the documented convenience for this field)."""
+        return coerce_enum(value, cls, "strategy")
 
 
 @dataclass
-class ChaseConfig:
+class ChaseConfig(BudgetedConfig):
     """Tuning knobs for a chase run.
 
     Attributes
@@ -45,18 +93,25 @@ class ChaseConfig:
     max_elements:
         Stop when the domain exceeds this many elements.
     oblivious:
-        Fire every trigger regardless of existing witnesses.
+        Fire every trigger regardless of existing witnesses.  Forces
+        the naive strategy (old triggers re-fire every round, so delta
+        enumeration would change the semantics).
     allow_new_elements:
         When ``False``, a TGD trigger with no witness raises
         :class:`~repro.errors.NewElementEmbargoViolation` instead of
         inventing a null (Lemma 5 saturation mode).
     on_budget:
-        ``"return"`` (default) stops quietly with ``saturated=False``;
-        ``"raise"`` raises :class:`~repro.errors.ChaseBudgetExceeded`.
+        :attr:`~repro.config.OnBudget.RETURN` (default) stops quietly
+        with ``saturated=False``; :attr:`~repro.config.OnBudget.RAISE`
+        raises :class:`~repro.errors.ChaseBudgetExceeded`.  The legacy
+        strings ``"return"``/``"raise"`` still work (deprecated).
     trace:
         Record, for every derived fact, the rule and the premise facts
         that produced it (see :mod:`repro.chase.provenance`).  Off by
         default — it costs memory proportional to the run.
+    strategy:
+        ``"delta"`` (default) or ``"naive"`` — see the module docstring.
+        Both produce identical results; naive exists for ablations.
     """
 
     max_depth: "Optional[int]" = None
@@ -64,14 +119,20 @@ class ChaseConfig:
     max_elements: "Optional[int]" = 50_000
     oblivious: bool = False
     allow_new_elements: bool = True
-    on_budget: str = "return"
+    on_budget: OnBudget = OnBudget.RETURN
     trace: bool = False
+    strategy: ChaseStrategy = ChaseStrategy.DELTA
 
     def __post_init__(self) -> None:
-        if self.on_budget not in ("return", "raise"):
-            raise ValueError("on_budget must be 'return' or 'raise'")
+        super().__post_init__()
+        self.strategy = ChaseStrategy.coerce(self.strategy)
         if self.max_depth is None and self.max_facts is None and self.max_elements is None:
             raise ValueError("at least one budget must be set (the chase may diverge)")
+
+    @property
+    def effective_strategy(self) -> ChaseStrategy:
+        """The strategy actually run: oblivious mode forces naive."""
+        return ChaseStrategy.NAIVE if self.oblivious else self.strategy
 
 
 def _head_satisfied(structure: Structure, rule: Rule, binding: Dict[Variable, Element]) -> bool:
@@ -112,6 +173,146 @@ def _witness_key(rule: Rule, rule_index: int, binding: Dict[Variable, Element]) 
     return ("rule", rule_index, frontier_values)
 
 
+def _oblivious_key(rule_index: int, binding: Dict[Variable, Element], serial: int) -> tuple:
+    """Witness key for an oblivious trigger: never shared.
+
+    The *serial* is an explicit per-round trigger counter, so every
+    oblivious body match gets its own witnesses (the paper's
+    ``c_{t_i, x̄}`` with the trigger identity spelled out; previously
+    the uniqueness leaked in from the enclosing scope's invented-null
+    count, which depended on evaluation order).
+    """
+    frontier = tuple(sorted((var.name, value) for var, value in binding.items()))
+    return ("oblivious", rule_index, frontier, serial)
+
+
+def _canonical_key_order(key: tuple) -> "Tuple[str, ...]":
+    """A total order on witness keys independent of discovery order.
+
+    Keys mix strings, ints, and domain elements, so they are compared
+    through their string forms (element ``str`` is injective per kind:
+    constants print their name, nulls ``_:ident``)."""
+    return tuple(str(part) for part in key)
+
+
+#: A trigger demanding a witness: (rule index, rule, body binding).
+_Demand = Tuple[int, Rule, Dict[Variable, Element]]
+
+
+def _evaluate_round(
+    structure: Structure,
+    theory: Theory,
+    nulls: NullFactory,
+    level: int,
+    config: ChaseConfig,
+    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]",
+    delta: "Optional[Sequence[Atom]]",
+    stats: RoundStats,
+) -> Tuple[List[Atom], List[Null]]:
+    """One parallel round (``Chase^1``) against the round-start state.
+
+    *structure* is not touched until every trigger of the round has
+    been enumerated (insertions are buffered), so all triggers see the
+    structure "as it was at the start of the round" without a copy.
+    With ``delta=None`` every rule body is fully enumerated (naive /
+    first round); otherwise only matches touching the delta are.
+
+    Phase 1 enumerates triggers: datalog heads go straight to the
+    buffer; existential triggers with unsatisfied heads are collected
+    as witness *demands*.  Phase 2 assigns fresh nulls per demand key
+    in a canonical key order — making null identities (and hence the
+    whole run) independent of enumeration order and strategy.
+    """
+    produced: List[Atom] = []
+    produced_set: Set[Atom] = set()
+    demands: "Dict[tuple, List[_Demand]]" = {}
+    demand_seen: Set[tuple] = set()
+    oblivious_serial = 0
+
+    def record(fact: Atom, rule_index: int, rule: Rule, binding) -> None:
+        if provenance is not None and fact not in provenance:
+            premises = tuple(
+                a.substitute(binding) for a in rule.body if not a.is_equality
+            )
+            provenance[fact] = (rule_index, premises)
+
+    for rule_index, rule in enumerate(theory.rules):
+        if delta is None:
+            bindings: "Iterator[Dict[Variable, Element]]" = homomorphisms(
+                rule.body, structure
+            )
+        else:
+            bindings = _delta_bindings(rule, structure, delta)
+        for binding in bindings:
+            stats.triggers_evaluated += 1
+            if rule.is_datalog:
+                fired = False
+                for head in rule.head:
+                    fact = head.substitute(binding)  # type: ignore[arg-type]
+                    if fact not in produced_set and not structure.has_fact(fact):
+                        produced_set.add(fact)
+                        produced.append(fact)
+                        fired = True
+                        record(fact, rule_index, rule, binding)
+                if fired:
+                    stats.triggers_fired += 1
+                continue
+            if not config.oblivious and _head_satisfied(structure, rule, binding):
+                stats.triggers_suppressed += 1
+                continue
+            if not config.allow_new_elements:
+                raise NewElementEmbargoViolation(
+                    f"rule {rule} demands a new witness on {binding} "
+                    f"(Lemma 5 embargo)"
+                )
+            if config.oblivious:
+                key = _oblivious_key(rule_index, binding, oblivious_serial)
+                oblivious_serial += 1
+            else:
+                key = _witness_key(rule, rule_index, binding)
+            # Delta enumeration can yield the same trigger through
+            # several pivots; demand each (key, rule, binding) once.
+            fingerprint = (
+                key,
+                rule_index,
+                tuple(sorted((var.name, value) for var, value in binding.items())),
+            )
+            if fingerprint in demand_seen:
+                continue
+            demand_seen.add(fingerprint)
+            demands.setdefault(key, []).append((rule_index, rule, binding))
+
+    invented: List[Null] = []
+    for key in sorted(demands, key=_canonical_key_order):
+        entries = demands[key]
+        # Rules sharing a key demand the same head atom and carry
+        # exactly one existential each ((♠5) shape); per-rule keys have
+        # a single rule.  Either way the witness count is uniform.
+        owner_index = min(entry[0] for entry in entries)
+        witness_count = len(entries[0][1].existential_variables())
+        values = [
+            nulls.fresh(rule_index=owner_index, level=level)
+            for _ in range(witness_count)
+        ]
+        invented.extend(values)
+        for rule_index, rule, binding in entries:
+            stats.triggers_fired += 1
+            extended = dict(binding)
+            extended.update(zip(sorted(rule.existential_variables()), values))
+            for head in rule.head:
+                fact = head.substitute(extended)  # type: ignore[arg-type]
+                if fact not in produced_set and not structure.has_fact(fact):
+                    produced_set.add(fact)
+                    produced.append(fact)
+                    record(fact, rule_index, rule, binding)
+
+    for fact in produced:
+        structure.add_fact(fact)
+    stats.facts_added = len(produced)
+    stats.nulls_invented = len(invented)
+    return produced, invented
+
+
 def chase_step(
     structure: Structure,
     theory: Theory,
@@ -123,60 +324,20 @@ def chase_step(
     """One parallel round (``Chase^1``) applied in place.
 
     All triggers are evaluated against the structure *as it was at the
-    start of the round*; the produced facts and nulls are returned (and
-    already inserted into *structure*).  When *provenance* is given,
-    each new fact maps to its ``(rule index, premise facts)``.
+    start of the round* (full naive enumeration); the produced facts
+    and nulls are returned (and already inserted into *structure*).
+    When *provenance* is given, each new fact maps to its
+    ``(rule index, premise facts)``.
+
+    A passed *config* is used as given; only ``None`` selects the
+    single-round default (an earlier version replaced any falsy value).
     """
-    config = config or ChaseConfig(max_depth=1)
-    snapshot = structure.copy()
-    produced: List[Atom] = []
-    invented: List[Null] = []
-    shared_witnesses: Dict[tuple, Dict[Variable, Null]] = {}
-
-    def record(fact: Atom, rule_index: int, rule: Rule, binding) -> None:
-        if provenance is not None and fact not in provenance:
-            premises = tuple(
-                a.substitute(binding) for a in rule.body if not a.is_equality
-            )
-            provenance[fact] = (rule_index, premises)
-
-    for rule_index, rule in enumerate(theory.rules):
-        for binding in homomorphisms(rule.body, snapshot):
-            if rule.is_datalog:
-                for head in rule.head:
-                    fact = head.substitute(binding)  # type: ignore[arg-type]
-                    if structure.add_fact(fact):
-                        produced.append(fact)
-                        record(fact, rule_index, rule, binding)
-                continue
-            if not config.oblivious and _head_satisfied(snapshot, rule, binding):
-                continue
-            if not config.allow_new_elements:
-                raise NewElementEmbargoViolation(
-                    f"rule {rule} demands a new witness on {binding} "
-                    f"(Lemma 5 embargo)"
-                )
-            key = _witness_key(rule, rule_index, binding)
-            if config.oblivious:
-                key = ("oblivious", rule_index, tuple(sorted(
-                    (var.name, value) for var, value in binding.items()
-                )), len(invented))
-            witnesses = shared_witnesses.get(key)
-            if witnesses is None:
-                witnesses = {
-                    var: nulls.fresh(rule_index=rule_index, level=level)
-                    for var in sorted(rule.existential_variables())
-                }
-                shared_witnesses[key] = witnesses
-                invented.extend(witnesses[var] for var in sorted(witnesses))
-            extended = dict(binding)
-            extended.update(witnesses)
-            for head in rule.head:
-                fact = head.substitute(extended)  # type: ignore[arg-type]
-                if structure.add_fact(fact):
-                    produced.append(fact)
-                    record(fact, rule_index, rule, binding)
-    return produced, invented
+    if config is None:
+        config = ChaseConfig(max_depth=1)
+    stats = RoundStats(round=level)
+    return _evaluate_round(
+        structure, theory, nulls, level, config, provenance, None, stats
+    )
 
 
 def chase(
@@ -187,30 +348,31 @@ def chase(
 ) -> ChaseResult:
     """Run the chase on a copy of *database* under *theory*.
 
-    Keyword overrides (``max_depth=...`` etc.) are applied on top of
-    *config* (or the default config).  The input structure is never
-    mutated.
+    Keyword overrides (``max_depth=...``, ``strategy="naive"`` etc.)
+    are applied on top of *config* (or the default config) via
+    :meth:`~repro.config.BudgetedConfig.with_overrides` — a validated
+    ``dataclasses.replace``.  The input structure is never mutated.
 
     Returns
     -------
     ChaseResult
         With ``saturated=True`` iff a fixpoint was reached within the
         budgets; the result's :attr:`~ChaseResult.fact_level` maps every
-        fact to the round that introduced it (database facts at 0).
+        fact to the round that introduced it (database facts at 0), and
+        :attr:`~ChaseResult.stats` carries the run's per-round
+        instrumentation.
 
     Raises
     ------
     ChaseBudgetExceeded
-        Only when ``config.on_budget == "raise"``.
+        Only when ``config.on_budget == OnBudget.RAISE``.
     NewElementEmbargoViolation
         When ``allow_new_elements=False`` and an existential trigger
         has no witness.
     """
     if config is None:
         config = ChaseConfig()
-    if overrides:
-        merged = {**config.__dict__, **overrides}
-        config = ChaseConfig(**merged)
+    config = config.with_overrides(**overrides)
 
     working = database.copy()
     nulls = NullFactory.above(working.domain())
@@ -220,15 +382,29 @@ def chase(
     provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = (
         {} if config.trace else None
     )
+    strategy = config.effective_strategy
+    stats = ChaseStats(strategy=strategy.value)
     depth = 0
     saturated = False
+    # None = full enumeration: always for naive, and for delta's first
+    # round (where the whole database is the delta).
+    delta: "Optional[List[Atom]]" = None
 
     while True:
         if config.max_depth is not None and depth >= config.max_depth:
             break
-        produced, invented = chase_step(
-            working, theory, nulls, depth + 1, config, provenance
+        round_stats = RoundStats(
+            round=depth + 1,
+            delta_in=len(working) if delta is None else len(delta),
         )
+        probes_before = working.index_probes
+        started = time.perf_counter()
+        produced, invented = _evaluate_round(
+            working, theory, nulls, depth + 1, config, provenance, delta, round_stats
+        )
+        round_stats.wall_ms = (time.perf_counter() - started) * 1000.0
+        round_stats.index_probes = working.index_probes - probes_before
+        stats.rounds.append(round_stats)
         if not produced and not invented:
             saturated = True
             break
@@ -237,12 +413,13 @@ def chase(
         new_elements.extend(invented)
         for fact in produced:
             fact_level.setdefault(fact, depth)
+        delta = produced if strategy is ChaseStrategy.DELTA else None
         over_facts = config.max_facts is not None and len(working) > config.max_facts
         over_elements = (
             config.max_elements is not None and working.domain_size > config.max_elements
         )
         if over_facts or over_elements:
-            if config.on_budget == "raise":
+            if config.should_raise:
                 raise ChaseBudgetExceeded(
                     f"chase exceeded budget at depth {depth}",
                     depth=depth,
@@ -258,6 +435,7 @@ def chase(
         new_elements=new_elements,
         rounds_fired=rounds_fired,
         provenance=provenance,
+        stats=stats,
     )
 
 
@@ -271,7 +449,8 @@ def datalog_saturate(
 
     On a finite structure this always terminates (no new elements are
     ever created).  Used as a building block by the Theorem-2 pipeline
-    and by model checking.
+    and by model checking.  The returned result carries the run's
+    :class:`~repro.chase.stats.ChaseStats` like any chase.
     """
     datalog_only = Theory(theory.datalog_rules(), theory.signature)
     return chase(

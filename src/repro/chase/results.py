@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from ..lf.atoms import Atom
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null
+from .stats import ChaseStats
 
 
 @dataclass
@@ -46,6 +47,11 @@ class ChaseResult:
         derived fact, the ``(rule index, premise facts)`` that produced
         it first.  ``None`` on untraced runs.  Use
         :mod:`repro.chase.provenance` to build derivation trees.
+    stats:
+        Per-round instrumentation (wall time, trigger/delta counters,
+        index probes) — see :class:`~repro.chase.stats.ChaseStats`.
+        Always populated by :func:`repro.chase.chase`; ``None`` only on
+        hand-built results.
     """
 
     structure: Structure
@@ -55,6 +61,7 @@ class ChaseResult:
     new_elements: List[Null] = field(default_factory=list)
     rounds_fired: List[int] = field(default_factory=list)
     provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None
+    stats: "Optional[ChaseStats]" = None
 
     @property
     def is_model(self) -> bool:

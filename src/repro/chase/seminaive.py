@@ -12,6 +12,12 @@ the k plans "``B_i`` from delta, the rest from the full structure".
 The result is fact-for-fact identical to the naive fixpoint (property
 tested), usually much faster on recursive rules — the
 ``bench_ablation_seminaive`` benchmark quantifies it.
+
+The delta machinery below (:func:`_delta_bindings`) is shared with the
+main chase engine: :mod:`repro.chase.engine` generalises it to
+existential TGDs as its default ``"delta"`` strategy (see DESIGN.md §4).
+Insertions are buffered per iteration — the homomorphism matcher hands
+out live index views, so the structure must not grow mid-enumeration.
 """
 
 from __future__ import annotations
@@ -91,27 +97,35 @@ def seminaive_saturate(
     rules = [r for r in theory.rules if r.is_datalog]
     working = structure.copy()
 
-    # Iteration 0: full naive round (every fact is "new").
-    delta: List[Atom] = []
-    for rule in rules:
-        for binding in homomorphisms(rule.body, working):
-            for head in rule.head:
-                fact = head.substitute(binding)  # type: ignore[arg-type]
-                if working.add_fact(fact):
-                    delta.append(fact)
+    def one_iteration(delta: "Optional[Sequence[Atom]]") -> List[Atom]:
+        """One pass over the rules; new facts are buffered, then
+        inserted (the matcher iterates live index views).  ``delta is
+        None`` means the initial full evaluation."""
+        produced: List[Atom] = []
+        produced_set: Set[Atom] = set()
+        for rule in rules:
+            bindings = (
+                homomorphisms(rule.body, working)
+                if delta is None
+                else _delta_bindings(rule, working, delta)
+            )
+            for binding in bindings:
+                for head in rule.head:
+                    fact = head.substitute(binding)  # type: ignore[arg-type]
+                    if fact not in produced_set and not working.has_fact(fact):
+                        produced_set.add(fact)
+                        produced.append(fact)
+        for fact in produced:
+            working.add_fact(fact)
+        return produced
 
+    # Iteration 0: full naive round (every fact is "new").
+    delta = one_iteration(None)
     while delta:
         if max_facts is not None and len(working) > max_facts:
             raise ChaseBudgetExceeded(
                 f"semi-naive saturation exceeded {max_facts} facts",
                 facts=len(working),
             )
-        produced: List[Atom] = []
-        for rule in rules:
-            for binding in _delta_bindings(rule, working, delta):
-                for head in rule.head:
-                    fact = head.substitute(binding)  # type: ignore[arg-type]
-                    if working.add_fact(fact):
-                        produced.append(fact)
-        delta = produced
+        delta = one_iteration(delta)
     return working

@@ -1,0 +1,162 @@
+"""Run-level instrumentation for chase runs.
+
+Every chase run (any strategy) records a :class:`ChaseStats` — one
+:class:`RoundStats` per parallel round — exposed on
+:attr:`repro.chase.ChaseResult.stats` and propagated up through
+``certain_*``, ``datalog_saturate`` and the Theorem-2 pipeline.  The
+counters are the language the benchmarks and the CLI's ``--stats`` /
+``--json`` modes speak:
+
+* *triggers evaluated* — body matches enumerated this round (under the
+  delta strategy this is the real work saved: all-old matches are
+  provably settled and never enumerated);
+* *triggers fired* — matches that produced at least one new fact or a
+  witness;
+* *triggers suppressed* — existential matches skipped because a witness
+  already existed (the non-oblivious "only if needed" check);
+* *delta_in* — how many facts the round joined through as the delta
+  (for the naive strategy: the whole structure);
+* *index_probes* — hash-index lookups performed on the
+  :class:`~repro.lf.structures.Structure` during the round.
+
+Wall times are the only nondeterministic fields; everything else is a
+pure function of (database, theory, config), which the CLI determinism
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Keys of :meth:`RoundStats.as_dict` that carry timings (excluded by
+#: ``timings=False``; consumers comparing runs should strip these).
+TIMING_FIELDS = ("wall_ms",)
+
+
+@dataclass
+class RoundStats:
+    """Counters for one parallel round of the chase."""
+
+    round: int
+    triggers_evaluated: int = 0
+    triggers_fired: int = 0
+    triggers_suppressed: int = 0
+    facts_added: int = 0
+    nulls_invented: int = 0
+    delta_in: int = 0
+    index_probes: int = 0
+    wall_ms: float = 0.0
+
+    def as_dict(self, timings: bool = True) -> Dict[str, Any]:
+        """A JSON-ready dict; ``timings=False`` drops the wall time."""
+        payload: Dict[str, Any] = {
+            "round": self.round,
+            "triggers_evaluated": self.triggers_evaluated,
+            "triggers_fired": self.triggers_fired,
+            "triggers_suppressed": self.triggers_suppressed,
+            "facts_added": self.facts_added,
+            "nulls_invented": self.nulls_invented,
+            "delta_in": self.delta_in,
+            "index_probes": self.index_probes,
+        }
+        if timings:
+            payload["wall_ms"] = self.wall_ms
+        return payload
+
+
+@dataclass
+class ChaseStats:
+    """Aggregated instrumentation for a whole chase run.
+
+    Attributes
+    ----------
+    strategy:
+        The evaluation strategy actually used (``"delta"`` or
+        ``"naive"`` — oblivious runs always report ``"naive"``).
+    rounds:
+        One entry per evaluated round, including the final empty round
+        that certifies saturation (it did real work: it enumerated and
+        rejected every remaining trigger).
+    """
+
+    strategy: str = "delta"
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    # -- totals ---------------------------------------------------------
+    @property
+    def triggers_evaluated(self) -> int:
+        return sum(r.triggers_evaluated for r in self.rounds)
+
+    @property
+    def triggers_fired(self) -> int:
+        return sum(r.triggers_fired for r in self.rounds)
+
+    @property
+    def triggers_suppressed(self) -> int:
+        return sum(r.triggers_suppressed for r in self.rounds)
+
+    @property
+    def facts_added(self) -> int:
+        return sum(r.facts_added for r in self.rounds)
+
+    @property
+    def nulls_invented(self) -> int:
+        return sum(r.nulls_invented for r in self.rounds)
+
+    @property
+    def index_probes(self) -> int:
+        return sum(r.index_probes for r in self.rounds)
+
+    @property
+    def wall_ms(self) -> float:
+        return sum(r.wall_ms for r in self.rounds)
+
+    @property
+    def delta_sizes(self) -> List[int]:
+        """The delta fed into each round (diagnostic for the strategy)."""
+        return [r.delta_in for r in self.rounds]
+
+    def as_dict(self, timings: bool = True) -> Dict[str, Any]:
+        """A JSON-ready dict; ``timings=False`` strips every wall time."""
+        payload: Dict[str, Any] = {
+            "strategy": self.strategy,
+            "rounds": [r.as_dict(timings=timings) for r in self.rounds],
+            "totals": {
+                "triggers_evaluated": self.triggers_evaluated,
+                "triggers_fired": self.triggers_fired,
+                "triggers_suppressed": self.triggers_suppressed,
+                "facts_added": self.facts_added,
+                "nulls_invented": self.nulls_invented,
+                "index_probes": self.index_probes,
+            },
+        }
+        if timings:
+            payload["totals"]["wall_ms"] = self.wall_ms
+        return payload
+
+    def render(self) -> str:
+        """Deterministically ordered text lines for the CLI's ``--stats``."""
+        lines = [f"# stats: strategy={self.strategy} rounds={len(self.rounds)}"]
+        for r in self.rounds:
+            lines.append(
+                f"# round {r.round}: delta_in={r.delta_in} "
+                f"evaluated={r.triggers_evaluated} fired={r.triggers_fired} "
+                f"suppressed={r.triggers_suppressed} facts+={r.facts_added} "
+                f"nulls+={r.nulls_invented} probes={r.index_probes} "
+                f"wall={r.wall_ms:.2f}ms"
+            )
+        lines.append(
+            f"# totals: evaluated={self.triggers_evaluated} "
+            f"fired={self.triggers_fired} suppressed={self.triggers_suppressed} "
+            f"facts={self.facts_added} nulls={self.nulls_invented} "
+            f"probes={self.index_probes} wall={self.wall_ms:.2f}ms"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"ChaseStats({self.strategy}, {len(self.rounds)} rounds, "
+            f"{self.triggers_evaluated} triggers, "
+            f"{self.index_probes} probes)"
+        )

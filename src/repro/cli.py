@@ -12,17 +12,54 @@ Commands
 Theories/databases are files; pass ``-e`` to treat the arguments as
 inline text instead.  Everything prints deterministic, line-oriented
 output suitable for scripting.
+
+Machine-readable surface
+------------------------
+Two global flags work on every command (before or after the command
+name):
+
+``--json``   emit exactly one JSON object on stdout — always with the
+             keys ``command``, ``status``, ``counts`` (integer
+             counters), plus per-command payload (``facts``,
+             ``answers``, ``disjuncts``, ...).  Chase-backed commands
+             include a ``stats`` object (per-round trigger/delta/probe
+             counters); its ``wall_ms`` entries are the only
+             nondeterministic fields.
+``--stats``  in text mode, print the per-round chase instrumentation
+             as ``#``-prefixed comment lines; in JSON mode it is
+             implied.
+
+Exit codes
+----------
+===========  =========================================================
+``0``        success (chase ran, answers computed, model found, ...)
+``1``        error: unreadable input, parse failure, or any
+             :class:`~repro.errors.ReproError` (budget exceptions
+             included when a config says raise)
+``2``        incomplete/unknown: a budget was exhausted before the
+             verdict (``certain`` unknown, ``rewrite`` not saturated,
+             ``chase --explain`` target absent, Lemma-3 check failed)
+``3``        no counter-model exists: ``countermodel`` found the query
+             to be certain
+===========  =========================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .errors import ReproError
 from .lf import parse_query, parse_structure, parse_theory
+
+#: Exit codes (see the module docstring table).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_INCOMPLETE = 2
+EXIT_NO_COUNTERMODEL = 3
 
 
 def _load(text_or_path: str, inline: bool) -> str:
@@ -44,6 +81,23 @@ def _query(args):
     return parse_query(args.query, free=free)
 
 
+def _emit_json(payload: Dict[str, Any], exit_code: int) -> int:
+    """Print the one JSON object of the run (sorted keys: determinism)."""
+    payload["exit_code"] = exit_code
+    print(json.dumps(payload, sort_keys=True, default=str))
+    return exit_code
+
+
+def _stats_dict(stats) -> "Optional[Dict[str, Any]]":
+    return stats.as_dict() if stats is not None else None
+
+
+def _print_stats(args, stats) -> None:
+    """Text-mode ``--stats``: comment lines, deterministic order."""
+    if args.stats and stats is not None:
+        print(stats.render())
+
+
 def _cmd_chase(args) -> int:
     from .chase import ChaseConfig, chase, explain
 
@@ -54,66 +108,124 @@ def _cmd_chase(args) -> int:
         theory,
         ChaseConfig(max_depth=args.depth, trace=bool(args.explain)),
     )
-    status = "saturated" if result.saturated else f"truncated at depth {result.depth}"
-    print(f"# chase {status}: {len(result.structure)} facts, "
+    status = "saturated" if result.saturated else "truncated"
+    if args.json:
+        payload = {
+            "command": "chase",
+            "status": status,
+            "counts": {
+                "depth": result.depth,
+                "facts": len(result.structure),
+                "elements": result.structure.domain_size,
+                "invented": len(result.new_elements),
+            },
+            "facts": [str(f) for f in result.structure.sorted_facts()],
+            "stats": _stats_dict(result.stats),
+        }
+        return _emit_json(payload, EXIT_OK)
+    shown = status if result.saturated else f"truncated at depth {result.depth}"
+    print(f"# chase {shown}: {len(result.structure)} facts, "
           f"{result.structure.domain_size} elements, "
           f"{len(result.new_elements)} invented")
+    _print_stats(args, result.stats)
     for fact in result.structure.sorted_facts():
         print(fact)
     if args.explain:
         facts = sorted(result.structure.facts_with_pred(args.explain), key=str)
         if not facts:
             print(f"# no {args.explain}-facts to explain", file=sys.stderr)
-            return 1
+            return EXIT_ERROR
         print(f"# derivation of {facts[0]}:")
         print(explain(result, facts[0]).render(theory))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_certain(args) -> int:
-    from .chase import certain_answers, certain_boolean
+    from .chase import certain_report
 
     theory = _theory(args)
     database = _database(args)
     query = _query(args)
+    report = certain_report(database, theory, query, max_depth=args.depth)
+    verdict = {True: "certain", False: "not-certain", None: "unknown"}[report.verdict]
+    code = EXIT_OK if report.verdict is not None else EXIT_INCOMPLETE
+    rows = sorted(report.answers, key=str)
+    if args.json:
+        payload = {
+            "command": "certain",
+            "status": verdict,
+            "complete": report.complete,
+            "counts": {
+                "answers": len(report.answers),
+                "depth": report.result.depth,
+                "facts": len(report.result.structure),
+            },
+            "answers": [[str(value) for value in row] for row in rows],
+            "stats": _stats_dict(report.stats),
+        }
+        return _emit_json(payload, code)
     if query.is_boolean:
-        verdict = certain_boolean(database, theory, query, max_depth=args.depth)
-        print({True: "certain", False: "not-certain", None: "unknown"}[verdict])
-        return 0 if verdict is not None else 2
-    answers, complete = certain_answers(
-        database, theory, query, max_depth=args.depth
-    )
-    print(f"# {len(answers)} certain answers "
-          f"({'complete' if complete else 'lower bound'})")
-    for row in sorted(answers, key=str):
+        print(verdict)
+        _print_stats(args, report.stats)
+        return code
+    print(f"# {len(report.answers)} certain answers "
+          f"({'complete' if report.complete else 'lower bound'})")
+    _print_stats(args, report.stats)
+    for row in rows:
         print(", ".join(str(value) for value in row))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_rewrite(args) -> int:
+    from .config import OnBudget
     from .rewriting import RewriteConfig, rewrite
 
     theory = _theory(args)
     query = _query(args)
     config = RewriteConfig(
-        max_steps=args.max_steps, max_queries=args.max_queries, on_budget="return"
+        max_steps=args.max_steps,
+        max_queries=args.max_queries,
+        on_budget=OnBudget.RETURN,
     )
     result = rewrite(query, theory, config)
+    code = EXIT_OK if result.saturated else EXIT_INCOMPLETE
+    if args.json:
+        payload = {
+            "command": "rewrite",
+            "status": "saturated" if result.saturated else "budget-exhausted",
+            "counts": {
+                "disjuncts": len(result.ucq),
+                "steps": result.steps,
+                "generated": result.generated,
+                "max_width": result.max_width,
+                "depth_bound": result.depth_bound,
+            },
+            "disjuncts": [str(d) for d in result.ucq],
+        }
+        return _emit_json(payload, code)
     status = "saturated" if result.saturated else "budget-exhausted (incomplete!)"
     print(f"# {status}: {len(result.ucq)} disjuncts, max width "
           f"{result.max_width}, k_psi <= {result.depth_bound}")
     for disjunct in result.ucq:
         print(disjunct)
-    return 0 if result.saturated else 2
+    return code
 
 
 def _cmd_classify(args) -> int:
     from .classes import classify
 
     profile = classify(_theory(args))
+    if args.json:
+        payload = {
+            "command": "classify",
+            "status": "ok",
+            "counts": {"classes": len(profile)},
+            "profile": {name: bool(verdict) for name, verdict in profile.items()},
+        }
+        return _emit_json(payload, EXIT_OK)
     for name, verdict in sorted(profile.items()):
         print(f"{name}: {'yes' if verdict else 'no'}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_countermodel(args) -> int:
@@ -124,18 +236,44 @@ def _cmd_countermodel(args) -> int:
     query = _query(args)
     config = PipelineConfig()
     if args.depths:
-        config = PipelineConfig(
+        config = config.with_overrides(
             chase_depths=tuple(int(d) for d in args.depths.split(","))
         )
     result = build_finite_counter_model(theory, database, query, config)
+    if args.json:
+        payload = {
+            "command": "countermodel",
+            "status": "query-certain" if result.query_certain else "model-found",
+            "counts": {
+                "model_size": result.model_size,
+                "kappa": result.kappa,
+                "eta": result.eta,
+                "depth": result.depth,
+                "skeleton_size": result.skeleton_size,
+                "interior_size": result.interior_size,
+                "attempts": len(result.attempts),
+            },
+            "facts": (
+                [str(f) for f in result.model.sorted_facts()]
+                if result.model is not None
+                else []
+            ),
+            "stats": [s.as_dict() for s in result.chase_stats],
+        }
+        return _emit_json(
+            payload, EXIT_NO_COUNTERMODEL if result.query_certain else EXIT_OK
+        )
     if result.query_certain:
         print("# the query is certain: no counter-model exists")
-        return 3
+        return EXIT_NO_COUNTERMODEL
     print(f"# verified finite counter-model: {result.model_size} elements "
           f"(kappa={result.kappa}, eta={result.eta}, depth={result.depth})")
+    if args.stats:
+        for stats in result.chase_stats:
+            print(stats.render())
     for fact in result.model.sorted_facts():
         print(fact)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_skeleton(args) -> int:
@@ -145,6 +283,27 @@ def _cmd_skeleton(args) -> int:
     database = _database(args)
     result = skeleton(database, theory, max_depth=args.depth)
     report = lemma3_report(result)
+    code = EXIT_OK if report.all_hold else EXIT_INCOMPLETE
+    if args.json:
+        payload = {
+            "command": "skeleton",
+            "status": "lemma3-holds" if report.all_hold else "lemma3-violated",
+            "counts": {
+                "skeleton_atoms": len(result.structure),
+                "elements": result.structure.domain_size,
+                "flesh_atoms": len(result.flesh),
+                "degree_observed": report.degree_observed,
+                "degree_bound": report.degree_bound,
+            },
+            "lemma3": {
+                "forest": report.forest,
+                "acyclic": report.acyclic,
+                "in_degree_at_most_one": report.in_degree_at_most_one,
+                "vtdag": report.vtdag,
+            },
+            "facts": [str(f) for f in result.structure.sorted_facts()],
+        }
+        return _emit_json(payload, code)
     print(f"# skeleton: {len(result.structure)} atoms over "
           f"{result.structure.domain_size} elements; "
           f"flesh: {len(result.flesh)} atoms")
@@ -154,21 +313,41 @@ def _cmd_skeleton(args) -> int:
           f"vtdag={report.vtdag}")
     for fact in result.structure.sorted_facts():
         print(fact)
-    return 0 if report.all_hold else 2
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # The global flags live on the root parser (``repro --json chase``)
+    # AND, with SUPPRESS defaults, on every subcommand — so the natural
+    # ``repro chase --json`` works too without clobbering the root value.
+    global_flags = argparse.ArgumentParser(add_help=False)
+    global_flags.add_argument(
+        "--json", action="store_true", default=argparse.SUPPRESS,
+        help="emit one JSON object instead of line-oriented text",
+    )
+    global_flags.add_argument(
+        "--stats", action="store_true", default=argparse.SUPPRESS,
+        help="print per-round chase instrumentation (implied by --json)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A Datalog∃ laboratory for 'On the BDD/FC Conjecture'.",
+        epilog="exit codes: 0 success, 1 error, 2 incomplete/unknown, "
+               "3 no counter-model (query certain)",
     )
     parser.add_argument(
         "-e", "--inline", action="store_true",
         help="treat THEORY/DATABASE arguments as inline text, not files",
     )
+    parser.add_argument("--json", action="store_true", default=False,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--stats", action="store_true", default=False,
+                        help=argparse.SUPPRESS)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    chase_cmd = commands.add_parser("chase", help="run the chase")
+    chase_cmd = commands.add_parser("chase", help="run the chase",
+                                    parents=[global_flags])
     chase_cmd.add_argument("theory")
     chase_cmd.add_argument("database")
     chase_cmd.add_argument("--depth", type=int, default=8)
@@ -176,7 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print a derivation tree for a PRED-fact")
     chase_cmd.set_defaults(handler=_cmd_chase)
 
-    certain_cmd = commands.add_parser("certain", help="certain answers")
+    certain_cmd = commands.add_parser("certain", help="certain answers",
+                                      parents=[global_flags])
     certain_cmd.add_argument("theory")
     certain_cmd.add_argument("database")
     certain_cmd.add_argument("query")
@@ -184,7 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
     certain_cmd.add_argument("--depth", type=int, default=12)
     certain_cmd.set_defaults(handler=_cmd_certain)
 
-    rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (BDD)")
+    rewrite_cmd = commands.add_parser("rewrite", help="UCQ rewriting (BDD)",
+                                      parents=[global_flags])
     rewrite_cmd.add_argument("theory")
     rewrite_cmd.add_argument("query")
     rewrite_cmd.add_argument("--free", help="comma-separated free variables")
@@ -192,12 +373,14 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("--max-queries", type=int, default=2_000)
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 
-    classify_cmd = commands.add_parser("classify", help="syntactic classes")
+    classify_cmd = commands.add_parser("classify", help="syntactic classes",
+                                       parents=[global_flags])
     classify_cmd.add_argument("theory")
     classify_cmd.set_defaults(handler=_cmd_classify)
 
     counter_cmd = commands.add_parser(
-        "countermodel", help="finite counter-model (Theorem 2/3)"
+        "countermodel", help="finite counter-model (Theorem 2/3)",
+        parents=[global_flags],
     )
     counter_cmd.add_argument("theory")
     counter_cmd.add_argument("database")
@@ -206,7 +389,8 @@ def build_parser() -> argparse.ArgumentParser:
     counter_cmd.add_argument("--depths", help="comma-separated chase depths")
     counter_cmd.set_defaults(handler=_cmd_countermodel)
 
-    skeleton_cmd = commands.add_parser("skeleton", help="extract S(D,T)")
+    skeleton_cmd = commands.add_parser("skeleton", help="extract S(D,T)",
+                                       parents=[global_flags])
     skeleton_cmd.add_argument("theory")
     skeleton_cmd.add_argument("database")
     skeleton_cmd.add_argument("--depth", type=int, default=8)
@@ -216,17 +400,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code (see the docstring table)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    except (ReproError, OSError) as error:
+        if args.json:
+            print(json.dumps(
+                {"command": args.command, "status": "error",
+                 "error": str(error), "exit_code": EXIT_ERROR},
+                sort_keys=True,
+            ))
+        else:
+            print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

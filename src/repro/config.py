@@ -1,0 +1,128 @@
+"""The unified configuration contract shared by every engine.
+
+Every long-running engine in the library — the chase
+(:class:`repro.chase.ChaseConfig`), the UCQ rewriter
+(:class:`repro.rewriting.RewriteConfig`), and the Theorem-2 pipeline
+(:class:`repro.core.PipelineConfig`) — runs under *budgets* (the
+underlying problems are undecidable, so budgets are unavoidable) and
+must decide what to do when a budget is hit.  This module is the one
+place that contract lives:
+
+* :class:`OnBudget` — the two budget policies, as an enum.  Passing the
+  legacy strings ``"return"`` / ``"raise"`` still works everywhere but
+  emits a :class:`DeprecationWarning` (the shim is
+  :meth:`OnBudget.coerce`).
+* :class:`BudgetedConfig` — a mixin for the config dataclasses giving
+  them the shared surface: :attr:`~BudgetedConfig.should_raise` and
+  :meth:`~BudgetedConfig.with_overrides` (a type-checked
+  ``dataclasses.replace`` that re-runs validation, replacing the old
+  fragile ``{**config.__dict__, **overrides}`` merges).
+
+Because :class:`OnBudget` subclasses :class:`str`, existing comparisons
+such as ``config.on_budget == "raise"`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from enum import Enum
+from typing import Any, Type, TypeVar
+
+E = TypeVar("E", bound="Enum")
+C = TypeVar("C", bound="BudgetedConfig")
+
+
+def coerce_enum(
+    value: Any,
+    enum_cls: "Type[E]",
+    field_name: str,
+    deprecate_strings: bool = False,
+) -> E:
+    """Normalise *value* to a member of *enum_cls*.
+
+    Enum members pass through; strings are looked up by value (raising
+    ``ValueError`` with the allowed values on a miss).  When
+    *deprecate_strings* is set, a successful string lookup emits a
+    :class:`DeprecationWarning` — the shim that keeps legacy
+    stringly-typed call sites working while steering new code to the
+    enum.
+    """
+    if isinstance(value, enum_cls):
+        return value
+    if isinstance(value, str):
+        try:
+            member = enum_cls(value)
+        except ValueError:
+            allowed = ", ".join(repr(m.value) for m in enum_cls)
+            raise ValueError(
+                f"{field_name} must be one of {allowed}, got {value!r}"
+            ) from None
+        if deprecate_strings:
+            warnings.warn(
+                f"passing {field_name}={value!r} as a string is deprecated; "
+                f"use {enum_cls.__name__}.{member.name}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return member
+    raise ValueError(
+        f"{field_name} must be a {enum_cls.__name__} (or its string value), "
+        f"got {value!r}"
+    )
+
+
+class OnBudget(str, Enum):
+    """What an engine does when it exhausts a budget.
+
+    Attributes
+    ----------
+    RETURN:
+        Stop quietly and return a partial result flagged as incomplete
+        (``saturated=False`` / ``model=None`` depending on the engine).
+    RAISE:
+        Raise the engine's budget exception
+        (:class:`~repro.errors.ChaseBudgetExceeded`,
+        :class:`~repro.errors.RewritingBudgetExceeded`,
+        :class:`~repro.errors.PipelineError`).
+    """
+
+    RETURN = "return"
+    RAISE = "raise"
+
+    @classmethod
+    def coerce(cls, value: "OnBudget | str") -> "OnBudget":
+        """The deprecation shim: accept legacy strings, warn, normalise."""
+        return coerce_enum(value, cls, "on_budget", deprecate_strings=True)
+
+
+class BudgetedConfig:
+    """Mixin giving config dataclasses the shared budget surface.
+
+    Subclasses are dataclasses declaring their own ``on_budget`` field
+    (defaults differ per engine); their ``__post_init__`` must call
+    ``super().__post_init__()`` so the legacy-string shim runs.
+    """
+
+    on_budget: OnBudget
+
+    def __post_init__(self) -> None:
+        self.on_budget = OnBudget.coerce(self.on_budget)
+
+    @property
+    def should_raise(self) -> bool:
+        """Whether hitting a budget raises (vs returning a partial result)."""
+        return self.on_budget is OnBudget.RAISE
+
+    def with_overrides(self: "C", **overrides: Any) -> "C":
+        """A copy with the given fields replaced.
+
+        Built on :func:`dataclasses.replace`, so unknown field names
+        raise ``TypeError`` and the subclass's ``__post_init__``
+        re-validates the merged result.  With no overrides the instance
+        itself is returned (configs are treated as immutable by
+        convention).
+        """
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)

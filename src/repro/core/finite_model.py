@@ -38,7 +38,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..chase.engine import ChaseConfig, chase, chase_with_embargo, is_model, violations
+from ..chase.stats import ChaseStats
 from ..coloring.colors import ColoredStructure
+from ..config import BudgetedConfig, OnBudget
 from ..coloring.conservativity import conservativity_report
 from ..coloring.natural import natural_coloring
 from ..errors import (
@@ -62,8 +64,12 @@ from .normalize import PreparedTheory, prepare
 
 
 @dataclass
-class PipelineConfig:
+class PipelineConfig(BudgetedConfig):
     """Budgets for :func:`build_finite_counter_model`.
+
+    Shares the library-wide budget contract
+    (:class:`~repro.config.BudgetedConfig`): ``should_raise``,
+    ``with_overrides``, and the :class:`~repro.config.OnBudget` enum.
 
     Attributes
     ----------
@@ -77,6 +83,12 @@ class PipelineConfig:
         Fact budget per chase run.
     verify:
         Run the final model checks (leave on; off only for benchmarks).
+    on_budget:
+        :attr:`~repro.config.OnBudget.RAISE` (default) raises
+        :class:`~repro.errors.PipelineError` when every (depth, η) in
+        the schedule fails; :attr:`~repro.config.OnBudget.RETURN`
+        returns the result with ``model=None`` and the per-attempt
+        reasons in :attr:`FiniteModelResult.attempts`.
     """
 
     chase_depths: Tuple[int, ...] = (8, 10, 12, 16)
@@ -84,6 +96,7 @@ class PipelineConfig:
     rewrite: "Optional[RewriteConfig]" = None
     max_facts: "Optional[int]" = 100_000
     verify: bool = True
+    on_budget: OnBudget = OnBudget.RAISE
 
 
 @dataclass
@@ -106,6 +119,10 @@ class FiniteModelResult:
         The normalised theory and flag predicate.
     attempts:
         One entry per (depth, η) tried, with the failure reason.
+    chase_stats:
+        Instrumentation of every chase the pipeline ran (the truncation
+        chase per depth and each embargo saturation), in execution
+        order — see :class:`~repro.chase.stats.ChaseStats`.
     """
 
     model: "Optional[Structure]"
@@ -118,6 +135,7 @@ class FiniteModelResult:
     model_size: int = 0
     prepared: "Optional[PreparedTheory]" = None
     attempts: List[str] = field(default_factory=list)
+    chase_stats: List[ChaseStats] = field(default_factory=list)
 
 
 def _interior_elements(
@@ -201,6 +219,8 @@ def build_finite_counter_model(
             working_theory,
             ChaseConfig(max_depth=depth, max_facts=config.max_facts, max_elements=None),
         )
+        if chased.stats is not None:
+            result.chase_stats.append(chased.stats)
         if chased.structure.facts_with_pred(flag):
             result.query_certain = True
             result.depth = depth
@@ -246,6 +266,8 @@ def build_finite_counter_model(
             )
             try:
                 saturated = chase_with_embargo(candidate, working_theory)
+                if saturated.stats is not None:
+                    result.chase_stats.append(saturated.stats)
             except NewElementEmbargoViolation as violation:
                 result.attempts.append(
                     f"depth {depth}, eta {eta}: embargo violation: {violation}"
@@ -272,6 +294,8 @@ def build_finite_counter_model(
             result.model_size = model.domain_size
             return result
 
+    if not config.should_raise:
+        return result
     raise PipelineError(
         "no (depth, eta) in the budget produced a verified finite model "
         "(slow-growing chases — e.g. several datalog rounds per witness — "

@@ -102,8 +102,15 @@ def _resolve_equalities(
 
 
 def _candidates(structure: Structure, item: Atom, binding: Binding) -> Iterable[Atom]:
-    """Facts that could match *item* under *binding*, via the best index."""
-    best: "Optional[FrozenSet[Atom]]" = None
+    """Facts that could match *item* under *binding*, via the best index.
+
+    Returns live index views (no copying — this is the innermost loop of
+    every engine), so callers that mutate the structure between yielded
+    bindings must buffer their insertions; the chase and the semi-naive
+    saturator do.
+    """
+    best: "Optional[Iterable[Atom]]" = None
+    best_size = -1
     for position, arg in enumerate(item.args):
         value: "Optional[Element]" = None
         if isinstance(arg, Variable):
@@ -112,14 +119,15 @@ def _candidates(structure: Structure, item: Atom, binding: Binding) -> Iterable[
         else:
             value = arg  # constant in the query: must match itself
         if value is not None:
-            bucket = structure.facts_with(item.pred, position, value)
-            if best is None or len(bucket) < len(best):
+            bucket = structure.facts_with_view(item.pred, position, value)
+            if best is None or len(bucket) < best_size:
                 best = bucket
-                if not best:
+                best_size = len(bucket)
+                if not bucket:
                     return ()
     if best is not None:
         return best
-    return structure.facts_with_pred(item.pred)
+    return structure.facts_with_pred_view(item.pred)
 
 
 def _match(item: Atom, fact: Atom, binding: Binding) -> "Optional[Binding]":

@@ -27,6 +27,9 @@ from .atoms import Atom
 from .signature import Signature
 from .terms import Constant, Element, Null, Variable
 
+#: Shared empty bucket returned by the index views on a miss.
+_EMPTY: FrozenSet[Atom] = frozenset()
+
 
 class Structure:
     """A mutable finite relational structure.
@@ -57,6 +60,7 @@ class Structure:
         self._domain: Set[Element] = set(domain)
         self._by_pred: Dict[str, Set[Atom]] = {}
         self._by_pred_pos: Dict[Tuple[str, int, Element], Set[Atom]] = {}
+        self._probe_count = 0
         self._strict = strict
         self._signature = signature if signature is not None else Signature.make()
         for fact in facts:
@@ -163,11 +167,40 @@ class Structure:
 
     def facts_with_pred(self, pred: str) -> FrozenSet[Atom]:
         """All facts of the given predicate."""
-        return frozenset(self._by_pred.get(pred, ()))
+        return frozenset(self.facts_with_pred_view(pred))
 
     def facts_with(self, pred: str, position: int, element: Element) -> FrozenSet[Atom]:
         """All facts ``pred(... element ...)`` with *element* at *position*."""
-        return frozenset(self._by_pred_pos.get((pred, position, element), ()))
+        return frozenset(self.facts_with_view(pred, position, element))
+
+    def facts_with_pred_view(self, pred: str) -> "Set[Atom] | FrozenSet[Atom]":
+        """The per-predicate index bucket itself, without copying.
+
+        Read-only by contract: callers must not mutate it, and must not
+        add or remove facts while iterating it (the hot-path engines —
+        the homomorphism matcher and the chase — buffer their insertions
+        for exactly this reason).  Use :meth:`facts_with_pred` for an
+        independent snapshot.
+        """
+        self._probe_count += 1
+        return self._by_pred.get(pred, _EMPTY)
+
+    def facts_with_view(
+        self, pred: str, position: int, element: Element
+    ) -> "Set[Atom] | FrozenSet[Atom]":
+        """The (predicate, position, element) index bucket, without
+        copying.  Same read-only contract as :meth:`facts_with_pred_view`."""
+        self._probe_count += 1
+        return self._by_pred_pos.get((pred, position, element), _EMPTY)
+
+    @property
+    def index_probes(self) -> int:
+        """Number of index lookups served since construction.
+
+        The chase's :class:`~repro.chase.stats.ChaseStats` reads this
+        before and after each round; copies start back at zero.
+        """
+        return self._probe_count
 
     def facts_about(self, element: Element) -> FrozenSet[Atom]:
         """All facts mentioning *element* in any position."""

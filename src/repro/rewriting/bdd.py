@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..config import OnBudget
 from ..errors import RewritingBudgetExceeded
 from ..lf.homomorphism import all_answers, satisfies
 from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -105,13 +106,7 @@ def is_bdd_for(
     proof of non-rewritability.
     """
     config = config or RewriteConfig()
-    quiet = RewriteConfig(
-        max_steps=config.max_steps,
-        max_queries=config.max_queries,
-        factorize=config.factorize,
-        eager_subsumption=config.eager_subsumption,
-        on_budget="return",
-    )
+    quiet = config.with_overrides(on_budget=OnBudget.RETURN)
     result = rewrite(query, theory, quiet)
     return True if result.saturated else None
 
@@ -126,7 +121,8 @@ def bdd_profile(
     ------
     RewritingBudgetExceeded
         If some rule body's rewriting exhausts its budget and the
-        config says ``on_budget="raise"`` (the default): the theory's
+        config says :attr:`~repro.config.OnBudget.RAISE` (the default):
+        the theory's
         BDD status is then unknown and κ cannot be certified.
     """
     profile = BDDProfile()

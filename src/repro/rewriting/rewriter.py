@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..config import BudgetedConfig, OnBudget
 from ..errors import RewritingBudgetExceeded, RuleError
 from ..lf.atoms import Atom
 from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -37,8 +38,13 @@ from .unify import Unifier
 
 
 @dataclass
-class RewriteConfig:
+class RewriteConfig(BudgetedConfig):
     """Budgets and switches for the rewriting engine.
+
+    Shares the library-wide budget contract
+    (:class:`~repro.config.BudgetedConfig`): ``should_raise``,
+    ``with_overrides``, and the :class:`~repro.config.OnBudget` enum
+    (legacy strings accepted with a deprecation warning).
 
     Attributes
     ----------
@@ -54,20 +60,17 @@ class RewriteConfig:
         already-kept one.  Keeps the closure small; the final result is
         minimised regardless.
     on_budget:
-        ``"raise"`` (default) raises
-        :class:`~repro.errors.RewritingBudgetExceeded`; ``"return"``
-        stops quietly with ``saturated=False``.
+        :attr:`~repro.config.OnBudget.RAISE` (default) raises
+        :class:`~repro.errors.RewritingBudgetExceeded`;
+        :attr:`~repro.config.OnBudget.RETURN` stops quietly with
+        ``saturated=False``.
     """
 
     max_steps: int = 20_000
     max_queries: int = 2_000
     factorize: bool = True
     eager_subsumption: bool = True
-    on_budget: str = "raise"
-
-    def __post_init__(self) -> None:
-        if self.on_budget not in ("raise", "return"):
-            raise ValueError("on_budget must be 'raise' or 'return'")
+    on_budget: OnBudget = OnBudget.RAISE
 
 
 @dataclass
@@ -255,7 +258,7 @@ def rewrite(
     Raises
     ------
     RewritingBudgetExceeded
-        When the budget is hit and ``config.on_budget == "raise"``.
+        When the budget is hit and ``config.should_raise``.
     RuleError
         If the theory contains a multi-head rule.
     """
@@ -313,7 +316,7 @@ def rewrite(
     while worklist:
         if steps >= config.max_steps or len(seen) >= config.max_queries:
             saturated = False
-            if config.on_budget == "raise":
+            if config.should_raise:
                 raise RewritingBudgetExceeded(
                     f"rewriting budget exhausted ({steps} steps, "
                     f"{len(seen)} queries)",

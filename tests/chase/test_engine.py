@@ -13,6 +13,7 @@ from repro.lf import (
     parse_structure,
     parse_theory,
 )
+from repro.config import OnBudget
 from repro.chase import (
     ChaseConfig,
     chase,
@@ -174,7 +175,7 @@ class TestBudgets:
             chase(
                 parse_structure("E(a,b)"),
                 theory,
-                ChaseConfig(max_depth=None, max_facts=5, max_elements=None, on_budget="raise"),
+                ChaseConfig(max_depth=None, max_facts=5, max_elements=None, on_budget=OnBudget.RAISE),
             )
 
     def test_all_budgets_none_rejected(self):

@@ -7,6 +7,7 @@ from repro.chase import ChaseConfig, chase, is_model
 from repro.lf import satisfies
 from repro.rewriting import RewriteConfig, cq_subsumes, rewrite
 from repro.rewriting.subsume import freeze, normalize_equalities
+from repro.config import OnBudget
 
 from .strategies import conjunctive_queries, structures, theories
 
@@ -83,7 +84,7 @@ class TestRewritingSoundness:
     def test_rewriting_agrees_with_chase(self, database, theory, query):
         """Definition 2, fuzzed: D ⊨ Φ′ iff Chase(D,T) ⊨ Φ — checked
         whenever both sides produce definite verdicts."""
-        config = RewriteConfig(max_steps=400, max_queries=80, on_budget="return")
+        config = RewriteConfig(max_steps=400, max_queries=80, on_budget=OnBudget.RETURN)
         result = rewrite(query, theory, config)
         if not result.saturated:
             return

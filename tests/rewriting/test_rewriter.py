@@ -10,6 +10,7 @@ from repro.errors import RewritingBudgetExceeded, RuleError
 from repro.chase import certain_boolean
 from repro.lf import Rule, Variable, atom, parse_query, parse_structure, parse_theory
 from repro.lf.rules import Theory
+from repro.config import OnBudget
 from repro.rewriting import (
     RewriteConfig,
     answer_by_rewriting,
@@ -101,7 +102,7 @@ class TestBudgets:
         result = rewrite(
             parse_query("E(x,y)", free=["x", "y"]),
             TRANSITIVE,
-            RewriteConfig(max_steps=200, max_queries=30, on_budget="return"),
+            RewriteConfig(max_steps=200, max_queries=30, on_budget=OnBudget.RETURN),
         )
         assert not result.saturated
 
@@ -193,7 +194,7 @@ class TestSoundnessAgainstChase:
                 parse_structure("E(a,b)"),
                 TRANSITIVE,
                 parse_query("E(x,y)", free=["x", "y"]),
-                RewriteConfig(max_steps=100, max_queries=20, on_budget="return"),
+                RewriteConfig(max_steps=100, max_queries=20, on_budget=OnBudget.RETURN),
             )
 
 
