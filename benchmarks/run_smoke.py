@@ -5,6 +5,17 @@ workloads of ``bench_perf_chase`` and ``bench_ablation_seminaive`` at
 reduced sizes and writes ``BENCH_chase.json`` next to this file — a
 cheap scoreboard a CI step or the next working session can diff.
 
+It also writes ``BENCH_hom.json``: microbenchmarks of the compiled
+join-plan evaluation path (:mod:`repro.lf.plan`) against the legacy
+backtracking matcher, on the workloads the planner was built for — the
+rewriting engine's UCQ minimisation and ptype-style per-element
+probes.  Each workload runs in a *planned* and a *legacy* mode (the
+latter via :func:`repro.lf.planner_disabled` /
+:func:`repro.rewriting.subsume_cache_disabled`) and reports the
+speedup; the parity of the two paths is enforced by the property suite
+(``tests/property/test_plan_parity.py``), so the modes are comparable
+by construction.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
@@ -25,6 +36,22 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.chase import ChaseConfig, ChaseStrategy, chase, seminaive_saturate
+from repro.lf import (
+    HOM_STATS,
+    ConjunctiveQuery,
+    Variable,
+    atom,
+    clear_plan_cache,
+    homomorphisms,
+    legacy_homomorphisms,
+    planner_disabled,
+    satisfies,
+)
+from repro.rewriting import (
+    clear_subsume_cache,
+    minimize_ucq,
+    subsume_cache_disabled,
+)
 from repro.zoo import (
     chain_growth_theory,
     chain_structure,
@@ -33,6 +60,7 @@ from repro.zoo import (
 )
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
+HOM_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hom.json"
 
 
 def timed(fn, repeat):
@@ -63,6 +91,134 @@ def chase_entry(name, database, theory, config, repeat):
     }
 
 
+def _path_query(k):
+    vs = [Variable(f"v{i}") for i in range(k + 1)]
+    return ConjunctiveQuery(
+        [atom("E", vs[i], vs[i + 1]) for i in range(k)], (vs[0], vs[-1])
+    )
+
+
+def _probe_query(k, reach=True):
+    """A one-free-variable query, ptype-style: reachability down a
+    k-path, or membership in a k-cycle."""
+    f = Variable("f")
+    if reach:
+        vs = [f] + [Variable(f"r{i}") for i in range(1, k + 1)]
+        return ConjunctiveQuery(
+            [atom("E", vs[i], vs[i + 1]) for i in range(k)], (f,)
+        )
+    vs = [f] + [Variable(f"c{i}") for i in range(1, k)]
+    return ConjunctiveQuery(
+        [atom("E", vs[i], vs[(i + 1) % k]) for i in range(k)], (f,)
+    )
+
+
+def _marked_chain(k):
+    """E-chains with U/V endpoint markers: pairwise incomparable, so
+    ``minimize_ucq`` really performs all O(n²) containment checks."""
+    vs = [Variable(f"v{i}") for i in range(k + 1)]
+    atoms = [atom("E", vs[i], vs[i + 1]) for i in range(k)]
+    atoms += [atom("U", vs[0]), atom("V", vs[k])]
+    return ConjunctiveQuery(atoms, (vs[0],))
+
+
+def hom_entries(full, repeat):
+    """The BENCH_hom microbenchmarks: (entries, speedups)."""
+    entries = []
+    speedups = {}
+
+    def contrast(workload, planned_fn, legacy_fn, extra=None):
+        """Time both modes; returns the legacy/planned speedup."""
+        clear_plan_cache()
+        clear_subsume_cache()
+        before = HOM_STATS.snapshot()
+        planned_wall, planned_result = timed(planned_fn, repeat)
+        hom = HOM_STATS.since(before)
+        legacy_wall, legacy_result = timed(legacy_fn, repeat)
+        assert planned_result == legacy_result, (
+            workload, planned_result, legacy_result)
+        speedup = round(legacy_wall / max(planned_wall, 1e-9), 2)
+        base = dict(extra or {})
+        entries.append({**base, "workload": workload, "mode": "planned",
+                        "wall_s": round(planned_wall, 6),
+                        "result": planned_result,
+                        "hom": hom.as_dict()})
+        entries.append({**base, "workload": workload, "mode": "legacy",
+                        "wall_s": round(legacy_wall, 6),
+                        "result": legacy_result})
+        return speedup
+
+    # hom-engine, enumeration: path joins, full binding enumeration —
+    # the shape of the rewriting engine's containment checks
+    nodes, edges, lengths = (60, 180, (6, 8)) if full else (40, 140, (5, 6))
+    db = random_edges_database(nodes, edges, seed=11)
+    queries = [_path_query(k) for k in lengths]
+
+    def enumerate_with(engine):
+        def run():
+            matches = 0
+            for query in queries:
+                for _ in engine(query.atoms, db):
+                    matches += 1
+            return matches
+        return run
+
+    speedups["path_join"] = contrast(
+        f"path-join-{nodes}n{edges}e",
+        enumerate_with(homomorphisms),
+        enumerate_with(legacy_homomorphisms),
+        {"paths": list(lengths)},
+    )
+
+    # hom-engine, existence probes: satisfies() once per element per
+    # query with the free variable prebound — the ptype workload
+    p_nodes, p_edges, cycles = (120, 400, (6, 8)) if full else (100, 300, (6, 7))
+    probe_db = random_edges_database(p_nodes, p_edges, seed=11)
+    probe_queries = [_probe_query(6), _probe_query(8)] + [
+        _probe_query(k, reach=False) for k in cycles
+    ]
+    probe_elements = sorted(probe_db.domain(), key=str)
+
+    def probe_all():
+        satisfied = 0
+        for query in probe_queries:
+            free = query.free[0]
+            for element in probe_elements:
+                if satisfies(probe_db, query, {free: element}):
+                    satisfied += 1
+        return satisfied
+
+    def probe_legacy():
+        with planner_disabled():
+            return probe_all()
+
+    speedups["ptype_probe"] = contrast(
+        f"ptype-probe-{p_nodes}n{p_edges}e", probe_all, probe_legacy,
+        {"cycles": list(cycles)},
+    )
+
+    # minimize_ucq: n pairwise-incomparable disjuncts, so every pair is
+    # containment-checked — planned matcher + normalize/freeze caching
+    # against the uncached legacy path
+    n_disjuncts = 32 if full else 20
+    disjuncts = [_marked_chain(k) for k in range(1, n_disjuncts + 1)]
+
+    def minimize_planned():
+        clear_subsume_cache()
+        return len(minimize_ucq(disjuncts))
+
+    def minimize_legacy():
+        with subsume_cache_disabled(), planner_disabled():
+            return len(minimize_ucq(disjuncts))
+
+    speedups["minimize_ucq"] = contrast(
+        f"minimize-ucq-{n_disjuncts}chains", minimize_planned, minimize_legacy,
+        {"disjuncts": n_disjuncts},
+    )
+
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -70,6 +226,7 @@ def main(argv=None):
     parser.add_argument("--repeat", type=int, default=3,
                         help="timing repetitions (median is reported)")
     parser.add_argument("--output", type=Path, default=OUTPUT)
+    parser.add_argument("--hom-output", type=Path, default=HOM_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -132,6 +289,22 @@ def main(argv=None):
     print(f"naive/delta speedup on the recursive chain: "
           f"{speedups['recursive_chain']}x")
     print(f"wrote {args.output}")
+
+    hom_entry_list, hom_speedups = hom_entries(args.full, args.repeat)
+    hom_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "entries": hom_entry_list,
+        "speedups": hom_speedups,
+    }
+    args.hom_output.write_text(
+        json.dumps(hom_payload, indent=2, sort_keys=True) + "\n")
+    for entry in hom_entry_list:
+        print(f"{entry['workload']:>34} {entry['mode']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  result={entry['result']}")
+    for name, factor in hom_speedups.items():
+        print(f"planned/legacy speedup, {name}: {factor}x")
+    print(f"wrote {args.hom_output}")
     return 0
 
 

@@ -59,6 +59,7 @@ from ..config import BudgetedConfig, OnBudget, coerce_enum
 from ..errors import ChaseBudgetExceeded, NewElementEmbargoViolation
 from ..lf.atoms import Atom
 from ..lf.homomorphism import find_homomorphism, homomorphisms
+from ..lf.plan import HOM_STATS
 from ..lf.rules import Rule, Theory
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null, NullFactory, Variable
@@ -384,6 +385,7 @@ def chase(
     )
     strategy = config.effective_strategy
     stats = ChaseStats(strategy=strategy.value)
+    hom_before = HOM_STATS.snapshot()
     depth = 0
     saturated = False
     # None = full enumeration: always for naive, and for delta's first
@@ -427,6 +429,7 @@ def chase(
                 )
             break
 
+    stats.hom = HOM_STATS.since(hom_before)
     return ChaseResult(
         structure=working,
         depth=depth,

@@ -44,6 +44,15 @@ def observed_derivation_depth(
 
     ``None`` when the query does not hold in the chased structure (note
     that on a truncated run this only means "not yet").
+
+    Raises
+    ------
+    ValueError
+        When a matched fact is missing from ``result.fact_level`` —
+        every fact of a chase result must carry its level (database
+        facts at 0), so a miss is a bookkeeping bug in whoever built
+        the result; silently defaulting it to level 0 would masquerade
+        as a depth-0 derivation.
     """
     if isinstance(query, UnionOfConjunctiveQueries):
         depths = [observed_derivation_depth(result, cq) for cq in query]
@@ -51,11 +60,18 @@ def observed_derivation_depth(
         return min(known) if known else None
     best: "Optional[int]" = None
     for binding in homomorphisms(query.atoms, result.structure):
-        levels = tuple(
-            result.fact_level.get(atom.substitute(binding), 0)  # type: ignore[arg-type]
-            for atom in query.atoms
-            if not atom.is_equality
-        )
+        levels = []
+        for atom in query.atoms:
+            if atom.is_equality:
+                continue
+            fact = atom.substitute(binding)  # type: ignore[arg-type]
+            level = result.fact_level.get(fact)
+            if level is None:
+                raise ValueError(
+                    f"matched fact {fact} has no entry in fact_level: "
+                    f"the chase result's level bookkeeping is inconsistent"
+                )
+            levels.append(level)
         depth = max(levels, default=0)
         if best is None or depth < best:
             best = depth

@@ -19,19 +19,34 @@ counters are the language the benchmarks and the CLI's ``--stats`` /
 * *index_probes* — hash-index lookups performed on the
   :class:`~repro.lf.structures.Structure` during the round.
 
-Wall times are the only nondeterministic fields; everything else is a
-pure function of (database, theory, config), which the CLI determinism
-tests rely on.
+Each run also snapshots the homomorphism engine's process-global
+:class:`~repro.lf.plan.HomStats` counters and stores the per-run delta
+on :attr:`ChaseStats.hom` — plans requested, plan-cache hits/misses,
+matcher index probes, candidate facts scanned, and backtracks.
+
+Wall times and the plan-cache hit/miss split are the only
+environment-dependent fields (the split depends on what ran earlier in
+the process); everything else is a pure function of (database, theory,
+config), which the CLI determinism tests rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
-#: Keys of :meth:`RoundStats.as_dict` that carry timings (excluded by
-#: ``timings=False``; consumers comparing runs should strip these).
-TIMING_FIELDS = ("wall_ms",)
+from ..lf.plan import HomStats
+
+#: Keys of the stats dicts that are *not* a pure function of the run's
+#: inputs — wall times plus the plan-cache warmth split — excluded by
+#: ``as_dict(timings=False)``; consumers comparing runs should strip
+#: these.
+TIMING_FIELDS = (
+    "wall_ms",
+    "plans_compiled",
+    "plan_cache_hits",
+    "plan_cache_misses",
+)
 
 
 @dataclass
@@ -78,10 +93,16 @@ class ChaseStats:
         One entry per evaluated round, including the final empty round
         that certifies saturation (it did real work: it enumerated and
         rejected every remaining trigger).
+    hom:
+        The homomorphism engine's per-run counters
+        (:class:`~repro.lf.plan.HomStats`): plan requests and cache
+        hits/misses, matcher index probes, candidate facts scanned,
+        backtracks.  ``None`` only on hand-built stats.
     """
 
     strategy: str = "delta"
     rounds: List[RoundStats] = field(default_factory=list)
+    hom: "Optional[HomStats]" = None
 
     # -- totals ---------------------------------------------------------
     @property
@@ -131,6 +152,10 @@ class ChaseStats:
                 "index_probes": self.index_probes,
             },
         }
+        if self.hom is not None:
+            # cache warmth (hit/miss split) is environment-dependent:
+            # stripped together with the wall times
+            payload["hom"] = self.hom.as_dict(cache=timings)
         if timings:
             payload["totals"]["wall_ms"] = self.wall_ms
         return payload
@@ -152,6 +177,15 @@ class ChaseStats:
             f"facts={self.facts_added} nulls={self.nulls_invented} "
             f"probes={self.index_probes} wall={self.wall_ms:.2f}ms"
         )
+        if self.hom is not None:
+            # deterministic counters only (the hit/miss split is cache
+            # warmth — it lives in as_dict, not in the comparable text)
+            lines.append(
+                f"# hom: plans={self.hom.plan_requests} "
+                f"probes={self.hom.index_probes} "
+                f"scanned={self.hom.candidates_scanned} "
+                f"backtracks={self.hom.backtracks}"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:

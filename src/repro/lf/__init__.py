@@ -35,11 +35,23 @@ from .homomorphism import (
     count_homomorphisms,
     find_homomorphism,
     homomorphisms,
+    legacy_homomorphisms,
+    planner_disabled,
     satisfies,
+    set_planner,
     structure_homomorphism,
     structure_homomorphisms,
     structures_hom_equivalent,
     structures_isomorphic,
+)
+from .plan import (
+    HOM_STATS,
+    HomStats,
+    PlanCache,
+    QueryPlan,
+    clear_plan_cache,
+    compile_plan,
+    plan_for,
 )
 from .parser import (
     parse_atom,
@@ -50,7 +62,7 @@ from .parser import (
     parse_structure,
     parse_theory,
 )
-from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, cq
+from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, align_free, cq
 from .rules import Rule, Theory, rule
 from .signature import Signature
 from .structures import Structure
@@ -70,12 +82,16 @@ from .terms import (
 __all__ = [
     "EQUALITY",
     "FREE_VARIABLE",
+    "HOM_STATS",
     "Atom",
     "ConjunctiveQuery",
     "Constant",
     "Element",
+    "HomStats",
     "Null",
     "NullFactory",
+    "PlanCache",
+    "QueryPlan",
     "Rule",
     "Signature",
     "Structure",
@@ -83,6 +99,7 @@ __all__ = [
     "Theory",
     "UnionOfConjunctiveQueries",
     "Variable",
+    "align_free",
     "all_answers",
     "atom",
     "atom_to_text",
@@ -90,12 +107,18 @@ __all__ = [
     "atoms_variables",
     "canonical_label",
     "canonical_query",
+    "clear_plan_cache",
+    "compile_plan",
     "count_homomorphisms",
     "cq",
     "element_from_value",
     "element_to_value",
     "find_homomorphism",
     "homomorphisms",
+    "legacy_homomorphisms",
+    "plan_for",
+    "planner_disabled",
+    "set_planner",
     "is_constant",
     "is_ground",
     "is_null",

@@ -3,30 +3,59 @@
 Everything in the paper runs on homomorphisms: ``C |= Φ`` for a CQ Φ is
 the existence of a homomorphism from Φ's atoms to C; positive types are
 sets of CQs; the finite counter-model contains a homomorphic image of
-the chase.  This module implements a backtracking matcher over the
-per-predicate/per-position indexes of :class:`~repro.lf.structures.Structure`,
-with a most-constrained-atom-first heuristic.
+the chase.  Evaluation runs through the compiled join plans of
+:mod:`repro.lf.plan` by default (static atom ordering, per-atom index
+selection, iterative matching, process-wide plan cache); the original
+recursive backtracking matcher is kept as
+:func:`legacy_homomorphisms` for ablation benchmarks and the
+planned-vs-legacy parity property tests, and can be forced globally
+with :func:`planner_disabled`.
 
 Public entry points
 -------------------
 ``homomorphisms``          — generate all satisfying bindings of a set of atoms
+``legacy_homomorphisms``   — the same, on the uncompiled backtracking path
 ``find_homomorphism``      — first satisfying binding or ``None``
 ``satisfies``              — boolean satisfaction of a CQ (under a partial binding)
 ``all_answers``            — the answer relation of a CQ over a structure
 ``structure_homomorphism`` — homomorphism between two structures (constants fixed)
 ``structures_hom_equivalent`` / ``structures_isomorphic`` — comparisons
+``planner_disabled``       — context manager forcing the legacy path
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .atoms import Atom
-from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .plan import plan_for
+from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, align_free
 from .structures import Structure
 from .terms import Constant, Element, Null, Variable
 
 Binding = Dict[Variable, Element]
+
+#: Module switch: ``True`` routes evaluation through compiled plans.
+_USE_PLANNER = True
+
+
+def set_planner(enabled: bool) -> bool:
+    """Enable/disable the planned path globally; returns the old value."""
+    global _USE_PLANNER
+    previous = _USE_PLANNER
+    _USE_PLANNER = bool(enabled)
+    return previous
+
+
+@contextmanager
+def planner_disabled():
+    """Force the legacy backtracking matcher within the block."""
+    previous = set_planner(False)
+    try:
+        yield
+    finally:
+        set_planner(previous)
 
 
 def _resolve_equalities(
@@ -173,12 +202,37 @@ def homomorphisms(
 
     Constants in the atoms must match themselves.  The optional
     *binding* pre-binds some variables.  Equality atoms are resolved
-    up-front.
+    up-front.  Evaluation runs on the compiled-plan path
+    (:mod:`repro.lf.plan`) unless :func:`planner_disabled` is active;
+    both paths generate the same binding set (property-tested).
     """
     resolved = _resolve_equalities(list(atoms), binding or {})
     if resolved is None:
         return
     todo, start, renamed = resolved
+
+    if _USE_PLANNER:
+        atom_vars: Set[Variable] = set()
+        for item in todo:
+            atom_vars.update(item.variable_set())
+        prebound = frozenset(var for var in start if var in atom_vars)
+        plan = plan_for(tuple(todo), prebound, structure)
+        found_bindings: Iterator[Binding] = plan.bindings(structure, start)
+    else:
+        found_bindings = _legacy_search(todo, structure, start)
+
+    for found in found_bindings:
+        for original, representative in renamed.items():
+            if representative in found:
+                found[original] = found[representative]
+        yield found
+
+
+def _legacy_search(
+    todo: List[Atom], structure: Structure, start: Binding
+) -> Iterator[Binding]:
+    """The original recursive matcher: per-node ``min()`` re-scoring and
+    per-extension dict copies.  Kept for parity tests and ablations."""
 
     def search(pending: List[Atom], current: Binding) -> Iterator[Binding]:
         if not pending:
@@ -192,7 +246,24 @@ def homomorphisms(
             if extended is not None:
                 yield from search(rest, extended)
 
-    for found in search(todo, start):
+    return search(todo, start)
+
+
+def legacy_homomorphisms(
+    atoms: Sequence[Atom],
+    structure: Structure,
+    binding: "Optional[Binding]" = None,
+) -> Iterator[Binding]:
+    """:func:`homomorphisms` on the uncompiled backtracking path.
+
+    The reference implementation the planned matcher must agree with;
+    used by the parity property suite and the ``BENCH_hom`` ablation.
+    """
+    resolved = _resolve_equalities(list(atoms), binding or {})
+    if resolved is None:
+        return
+    todo, start, renamed = resolved
+    for found in _legacy_search(todo, structure, start):
         for original, representative in renamed.items():
             if representative in found:
                 found[original] = found[representative]
@@ -232,7 +303,10 @@ def all_answers(
     if isinstance(query, UnionOfConjunctiveQueries):
         answers: Set[Tuple[Element, ...]] = set()
         for cq in query:
-            aligned = cq.substitute(dict(zip(cq.free, query.free))) if cq.free != query.free else cq
+            # Capture-avoiding alignment: a bare zip-substitution turns
+            # ∃x R(x,z) with free (z,) into R(x,x) when aligned to
+            # (x,), silently dropping answers.
+            aligned = align_free(cq, query.free) if cq.free != query.free else cq
             answers.update(all_answers(structure, aligned))
         return answers
     answers = set()

@@ -111,14 +111,33 @@ class ConjunctiveQuery:
     # Transformation
     # ------------------------------------------------------------------
     def substitute(self, mapping: Dict[Variable, Term]) -> "ConjunctiveQuery":
-        """Apply a substitution; free variables mapped to variables stay
-        free (renamed), those mapped to constants are dropped from the
-        free tuple."""
+        """Apply a (simultaneous) substitution.
+
+        Free variables mapped to variables stay free (renamed); those
+        mapped to constants are dropped from the free tuple (the query
+        loses an answer column by design — equality-protected callers
+        use :func:`repro.rewriting.subsume.normalize_equalities`).
+
+        Raises
+        ------
+        ValueError
+            When two free variables are mapped to the *same* variable:
+            that would silently shrink the free tuple's arity and
+            misalign every downstream positional ``zip`` over it.
+            Callers that genuinely want to merge answer columns must
+            restate the free tuple explicitly via :meth:`with_free`.
+        """
         new_atoms = [a.substitute(mapping) for a in self._atoms]
         new_free: List[Variable] = []
         for var in self._free:
             image = mapping.get(var, var)
-            if isinstance(image, Variable) and image not in new_free:
+            if isinstance(image, Variable):
+                if image in new_free:
+                    raise ValueError(
+                        f"substitution collapses free variables: {var} and "
+                        f"another free variable both map to {image} "
+                        f"(free tuple arity would silently shrink)"
+                    )
                 new_free.append(image)
         return ConjunctiveQuery(new_atoms, new_free)
 
@@ -221,6 +240,42 @@ class ConjunctiveQuery:
         return f"CQ[{self}]"
 
 
+def align_free(
+    query: ConjunctiveQuery, target_free: Sequence[Variable]
+) -> ConjunctiveQuery:
+    """Rename *query*'s free tuple to *target_free*, capture-avoidingly.
+
+    A bare ``query.substitute(dict(zip(query.free, target_free)))`` is
+    wrong whenever a *target* name already occurs existentially in the
+    query: aligning ``∃x R(x, z)`` (free ``(z,)``) to the tuple
+    ``(x,)`` would produce ``R(x, x)``, silently identifying the answer
+    variable with the witness and dropping answers.  This helper first
+    renames any clashing existential variables apart, then applies the
+    (simultaneous, hence swap-safe) free renaming.
+    """
+    target = tuple(target_free)
+    if len(target) != len(query.free):
+        raise ValueError(
+            f"cannot align free tuple of arity {len(query.free)} "
+            f"to arity {len(target)}"
+        )
+    if query.free == target:
+        return query
+    clashes = (query.variables() - frozenset(query.free)) & set(target)
+    if clashes:
+        taken = {v.name for v in query.variables()} | {v.name for v in target}
+        renaming: Dict[Variable, Variable] = {}
+        counter = 0
+        for var in sorted(clashes):
+            while f"e{counter}" in taken:
+                counter += 1
+            fresh = Variable(f"e{counter}")
+            taken.add(fresh.name)
+            renaming[var] = fresh
+        query = query.substitute(dict(renaming))
+    return query.substitute(dict(zip(query.free, target)))
+
+
 class UnionOfConjunctiveQueries:
     """A finite union (disjunction) of conjunctive queries.
 
@@ -243,7 +298,9 @@ class UnionOfConjunctiveQueries:
             if len(cq.free) != len(lead.free):
                 raise ValueError("disjuncts disagree on the number of free variables")
             if cq.free != lead.free:
-                cq = cq.substitute(dict(zip(cq.free, lead.free)))
+                # capture-avoiding: see align_free (a bare zip-substitution
+                # captures existential variables named after lead's frees)
+                cq = align_free(cq, lead.free)
             aligned.append(cq)
         unique: List[ConjunctiveQuery] = []
         seen = set()

@@ -193,6 +193,16 @@ class Structure:
         self._probe_count += 1
         return self._by_pred_pos.get((pred, position, element), _EMPTY)
 
+    def pred_size(self, pred: str) -> int:
+        """Number of facts of *pred*, without counting as an index probe.
+
+        Used by the query planner (:mod:`repro.lf.plan`) for ordering
+        statistics; statistics reads must not perturb the probe
+        counters the benchmarks compare.
+        """
+        bucket = self._by_pred.get(pred)
+        return len(bucket) if bucket else 0
+
     @property
     def index_probes(self) -> int:
         """Number of index lookups served since construction.

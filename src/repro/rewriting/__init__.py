@@ -25,11 +25,13 @@ from .bdd import (
 )
 from .rewriter import RewriteConfig, RewritingResult, rewrite
 from .subsume import (
+    clear_subsume_cache,
     cq_equivalent,
     cq_subsumes,
     freeze,
     minimize_ucq,
     normalize_equalities,
+    subsume_cache_disabled,
     ucq_equivalent,
     ucq_subsumes,
 )
@@ -44,9 +46,11 @@ __all__ = [
     "answer_by_rewriting",
     "answers_by_rewriting",
     "bdd_profile",
+    "clear_subsume_cache",
     "cq_equivalent",
     "cq_subsumes",
     "freeze",
+    "subsume_cache_disabled",
     "is_bdd_for",
     "kappa",
     "mgu",

@@ -15,10 +15,26 @@ same free-variable schema, such constraints are represented as equality
 atoms ``f = t`` rather than substituted away.  :func:`normalize_equalities`
 eliminates all equalities *except* those protecting free variables;
 :func:`freeze` resolves the remaining ones into the canonical database.
+
+Caching
+-------
+``minimize_ucq`` performs O(n²) containment checks over the same n
+disjuncts, and the rewriting engine's eager-subsumption pruning calls
+:func:`cq_subsumes` against every kept disjunct — without memoisation
+each pair re-normalises and re-freezes both queries from scratch.
+:func:`cq_subsumes` therefore routes through process-wide caches keyed
+on the (immutable, hashable) query itself; since CQ atoms are kept in
+a deterministic order, this key identifies the query's canonical shape
+for all the repeat calls that matter.  The cached canonical database
+is shared read-only across containment checks (the homomorphism
+engine never mutates its target).  :func:`subsume_cache_disabled` and
+:func:`clear_subsume_cache` exist for the ``BENCH_hom`` ablation and
+for tests.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from ..lf.atoms import Atom
@@ -26,6 +42,61 @@ from ..lf.homomorphism import find_homomorphism
 from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..lf.structures import Structure
 from ..lf.terms import Constant, Null, Variable
+
+#: Bounded memo tables for the containment hot path; cleared wholesale
+#: when full (entries are cheap to rebuild).
+_CACHE_MAXSIZE = 8192
+_NORMALIZE_CACHE: "Dict[ConjunctiveQuery, Optional[ConjunctiveQuery]]" = {}
+_FREEZE_CACHE: "Dict[ConjunctiveQuery, Tuple[Structure, Dict[Variable, object]]]" = {}
+_CACHE_ENABLED = True
+
+
+def clear_subsume_cache() -> None:
+    """Empty the normalise/freeze memo tables (benchmarks and tests)."""
+    _NORMALIZE_CACHE.clear()
+    _FREEZE_CACHE.clear()
+
+
+@contextmanager
+def subsume_cache_disabled():
+    """Run the block with containment memoisation switched off."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _CACHE_ENABLED = previous
+
+
+def _normalized(query: ConjunctiveQuery) -> "Optional[ConjunctiveQuery]":
+    """Memoised :func:`normalize_equalities`."""
+    if not _CACHE_ENABLED:
+        return normalize_equalities(query)
+    try:
+        return _NORMALIZE_CACHE[query]
+    except KeyError:
+        pass
+    result = normalize_equalities(query)
+    if len(_NORMALIZE_CACHE) >= _CACHE_MAXSIZE:
+        _NORMALIZE_CACHE.clear()
+    _NORMALIZE_CACHE[query] = result
+    return result
+
+
+def _frozen(query: ConjunctiveQuery) -> "Tuple[Structure, Dict[Variable, object]]":
+    """Memoised :func:`freeze`: the shared, read-only canonical database."""
+    if not _CACHE_ENABLED:
+        return freeze(query)
+    try:
+        return _FREEZE_CACHE[query]
+    except KeyError:
+        pass
+    result = freeze(query)
+    if len(_FREEZE_CACHE) >= _CACHE_MAXSIZE:
+        _FREEZE_CACHE.clear()
+    _FREEZE_CACHE[query] = result
+    return result
 
 
 def normalize_equalities(query: ConjunctiveQuery) -> "Optional[ConjunctiveQuery]":
@@ -159,13 +230,13 @@ def cq_subsumes(general: ConjunctiveQuery, specific: ConjunctiveQuery) -> bool:
     """
     if len(general.free) != len(specific.free):
         return False
-    general_n = normalize_equalities(general)
-    specific_n = normalize_equalities(specific)
+    general_n = _normalized(general)
+    specific_n = _normalized(specific)
     if specific_n is None:
         return True  # an unsatisfiable query is contained in anything
     if general_n is None:
         return False
-    canonical, table = freeze(specific_n)
+    canonical, table = _frozen(specific_n)
     binding: Dict[Variable, object] = {}
     for mine, theirs in zip(general_n.free, specific_n.free):
         target = table.get(theirs)

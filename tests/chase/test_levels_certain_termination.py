@@ -55,6 +55,36 @@ class TestLevels:
         result = chase(CHAIN4, TRANSITIVE)
         assert observed_derivation_depth(result, parse_query("E(x,y)")) == 0
 
+    def test_missing_fact_level_is_a_hard_error(self):
+        # Regression: a matched fact absent from fact_level used to be
+        # silently treated as level 0, masking bookkeeping bugs in
+        # hand-built or mis-merged results.
+        from repro.chase import ChaseResult
+        from repro.lf import parse_structure as ps
+
+        structure = ps("E(a,b)\nE(b,c)")
+        broken = ChaseResult(
+            structure=structure,
+            depth=1,
+            saturated=True,
+            fact_level={atom("E", Constant("a"), Constant("b")): 0},
+        )
+        with pytest.raises(ValueError, match="fact_level"):
+            observed_derivation_depth(broken, parse_query("E('b','c')"))
+
+    def test_complete_fact_level_still_answers(self):
+        from repro.chase import ChaseResult
+        from repro.lf import parse_structure as ps
+
+        structure = ps("E(a,b)")
+        result = ChaseResult(
+            structure=structure,
+            depth=0,
+            saturated=True,
+            fact_level={atom("E", Constant("a"), Constant("b")): 0},
+        )
+        assert observed_derivation_depth(result, parse_query("E(x,y)")) == 0
+
     def test_query_depth_profile(self):
         depth, result = query_depth_profile(CHAIN4, TRANSITIVE, parse_query("E('a','d')"), 10)
         assert depth == 2

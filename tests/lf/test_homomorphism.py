@@ -85,6 +85,35 @@ class TestAllAnswers:
         assert count_homomorphisms([atom("E", x, y)], s, limit=2) == 2
 
 
+class TestUCQAnswers:
+    def test_alignment_regression_keeps_answers(self):
+        # Regression: over {R(a,b)}, the disjunct ∃x R(x,z) (free z)
+        # answers {(b,)}; aligning it to the lead's free (x,) by bare
+        # substitution collapsed it to R(x,x), losing the answer.
+        from repro.lf import UnionOfConjunctiveQueries
+
+        u = UnionOfConjunctiveQueries(
+            [
+                cq([atom("R", x, x)], free=(x,)),
+                cq([atom("R", x, z)], free=(z,)),
+            ]
+        )
+        s = Structure([atom("R", a, b)])
+        assert all_answers(s, u) == {(b,)}
+
+    def test_union_collects_all_disjuncts(self):
+        from repro.lf import UnionOfConjunctiveQueries
+
+        u = UnionOfConjunctiveQueries(
+            [
+                cq([atom("E", x, y)], free=(x,)),
+                cq([atom("R", z, y)], free=(z,)),
+            ]
+        )
+        s = Structure([atom("E", a, b), atom("R", c, d)])
+        assert all_answers(s, u) == {(a,), (c,)}
+
+
 class TestEqualityAtoms:
     def test_variable_equals_constant(self):
         s = chain(a, b)

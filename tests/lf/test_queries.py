@@ -7,6 +7,7 @@ from repro.lf import (
     Constant,
     UnionOfConjunctiveQueries,
     Variable,
+    align_free,
     atom,
     cq,
     parse_query,
@@ -86,6 +87,62 @@ class TestTransformation:
         q = cq([atom("E", x, y)])
         assert q.rename_apart([z]) == q
 
+    def test_substitute_collapsing_free_variables_raises(self):
+        # Regression: mapping two free variables to the same variable
+        # used to silently shrink the free tuple from (x, y) to (z,),
+        # changing the query's arity.
+        q = cq([atom("E", x, y)], free=(x, y))
+        with pytest.raises(ValueError):
+            q.substitute({x: z, y: z})
+
+    def test_substitute_free_onto_existing_free_raises(self):
+        q = cq([atom("E", x, y)], free=(x, y))
+        with pytest.raises(ValueError):
+            q.substitute({x: y})
+
+    def test_substitute_swap_free_variables_ok(self):
+        # Simultaneous application: a swap is injective on the free
+        # tuple and must keep working.
+        q = cq([atom("E", x, y)], free=(x, y))
+        swapped = q.substitute({x: y, y: x})
+        assert swapped.free == (y, x)
+        assert atom("E", y, x) in swapped.atoms
+
+
+class TestAlignFree:
+    def test_plain_rename(self):
+        q = cq([atom("E", x, y)], free=(x,))
+        aligned = align_free(q, (z,))
+        assert aligned.free == (z,)
+        assert atom("E", z, y) in aligned.atoms
+
+    def test_noop_when_already_aligned(self):
+        q = cq([atom("E", x, y)], free=(x,))
+        assert align_free(q, (x,)) is q
+
+    def test_existential_clash_renamed_apart(self):
+        # Regression: aligning ∃x R(x,z) with free (z,) onto target (x,)
+        # used to capture the existential, yielding R(x,x).
+        q = cq([atom("R", x, z)], free=(z,))
+        aligned = align_free(q, (x,))
+        assert aligned.free == (x,)
+        (only,) = aligned.atoms
+        assert only.pred == "R"
+        first, second = only.args
+        assert second == x
+        assert first != x  # the existential stayed distinct
+
+    def test_arity_mismatch_rejected(self):
+        q = cq([atom("E", x, y)], free=(x,))
+        with pytest.raises(ValueError):
+            align_free(q, (x, y))
+
+    def test_free_swap(self):
+        q = cq([atom("E", x, y)], free=(x, y))
+        aligned = align_free(q, (y, x))
+        assert aligned.free == (y, x)
+        assert atom("E", y, x) in aligned.atoms
+
 
 class TestCanonical:
     def test_canonical_identifies_renamings(self):
@@ -138,6 +195,22 @@ class TestUCQ:
         u = UnionOfConjunctiveQueries([])
         assert len(u) == 0
         assert str(u) == "false"
+
+    def test_alignment_avoids_existential_capture(self):
+        # Regression: the second disjunct ∃x R(x,z) with free (z,) used
+        # to be aligned to the lead's free (x,) by a bare substitution,
+        # collapsing it to R(x,x).
+        u = UnionOfConjunctiveQueries(
+            [
+                cq([atom("R", x, x)], free=(x,)),
+                cq([atom("R", x, z)], free=(z,)),
+            ]
+        )
+        assert len(u) == 2
+        second = u.disjuncts[1]
+        assert second.free == (x,)
+        (only,) = second.atoms
+        assert only.args[0] != only.args[1]
 
     def test_equality_up_to_renaming(self):
         left = UnionOfConjunctiveQueries([cq([atom("E", x, y)])])

@@ -57,6 +57,20 @@ def conjunctive_queries(draw, max_atoms=4):
 
 
 @st.composite
+def open_conjunctive_queries(draw, max_atoms=4, max_free=2):
+    """A small CQ with a (possibly empty) tuple of free variables."""
+    from repro.lf import ConjunctiveQuery
+
+    atoms = draw(st.lists(query_atoms(), min_size=1, max_size=max_atoms))
+    pool = sorted({v for a in atoms for v in a.variable_set()})
+    if not pool:
+        return ConjunctiveQuery(atoms, ())
+    shuffled = draw(st.permutations(pool))
+    count = draw(st.integers(min_value=0, max_value=min(max_free, len(pool))))
+    return ConjunctiveQuery(atoms, tuple(shuffled[:count]))
+
+
+@st.composite
 def safe_rules(draw):
     """A rule whose head variables that are meant to be frontier come
     from the body; one optional extra head variable is existential."""

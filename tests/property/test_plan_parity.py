@@ -1,0 +1,104 @@
+"""Property-based parity and invariance tests for the planned matcher.
+
+Two contracts are enforced here:
+
+* the compiled-plan evaluation path produces exactly the binding set of
+  the legacy backtracking matcher, on arbitrary query/structure pairs
+  (with and without pre-bindings);
+* UCQ answer sets are invariant under the symmetries that the
+  free-variable capture bugs used to break — reordering disjuncts and
+  injectively renaming the variables of individual disjuncts.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lf import (
+    UnionOfConjunctiveQueries,
+    Variable,
+    all_answers,
+    homomorphisms,
+    legacy_homomorphisms,
+    planner_disabled,
+)
+
+from .strategies import elements, open_conjunctive_queries, structures
+
+RELAXED = settings(
+    max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def binding_set(generator):
+    return {frozenset(binding.items()) for binding in generator}
+
+
+class TestPlannedLegacyParity:
+    @RELAXED
+    @given(structures(), open_conjunctive_queries())
+    def test_same_binding_set(self, structure, query):
+        planned = binding_set(homomorphisms(query.atoms, structure))
+        legacy = binding_set(legacy_homomorphisms(query.atoms, structure))
+        assert planned == legacy
+
+    @RELAXED
+    @given(structures(min_facts=1), open_conjunctive_queries(), elements)
+    def test_same_binding_set_with_prebinding(self, structure, query, element):
+        pool = sorted(query.variables())
+        if not pool:
+            return
+        prebinding = {pool[0]: element}
+        planned = binding_set(homomorphisms(query.atoms, structure, prebinding))
+        legacy = binding_set(
+            legacy_homomorphisms(query.atoms, structure, prebinding)
+        )
+        assert planned == legacy
+
+    @RELAXED
+    @given(structures(), open_conjunctive_queries())
+    def test_planner_toggle_preserves_answers(self, structure, query):
+        with_planner = all_answers(structure, query)
+        with planner_disabled():
+            without = all_answers(structure, query)
+        assert with_planner == without
+
+
+def rename_injectively(query, suffix):
+    """Rename every variable of *query* with a fresh suffix (injective)."""
+    mapping = {v: Variable(f"{v.name}_{suffix}") for v in query.variables()}
+    return query.substitute(mapping)
+
+
+class TestUCQInvariance:
+    @RELAXED
+    @given(
+        structures(),
+        st.lists(open_conjunctive_queries(max_atoms=3), min_size=1, max_size=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_answers_invariant_under_disjunct_order(self, structure, pool, rng):
+        arity = len(pool[0].free)
+        disjuncts = [q for q in pool if len(q.free) == arity]
+        union = UnionOfConjunctiveQueries(disjuncts)
+        shuffled = list(disjuncts)
+        rng.shuffle(shuffled)
+        reordered = UnionOfConjunctiveQueries(shuffled)
+        assert all_answers(structure, union) == all_answers(structure, reordered)
+
+    @RELAXED
+    @given(
+        structures(),
+        st.lists(open_conjunctive_queries(max_atoms=3), min_size=1, max_size=3),
+    )
+    def test_answers_invariant_under_disjunct_renaming(self, structure, pool):
+        # Renaming the variables of each disjunct apart — including its
+        # free tuple — denotes the same UCQ; the constructor re-aligns
+        # frees onto the lead.  This is exactly the symmetry the
+        # capture bug broke.
+        arity = len(pool[0].free)
+        disjuncts = [q for q in pool if len(q.free) == arity]
+        union = UnionOfConjunctiveQueries(disjuncts)
+        renamed = UnionOfConjunctiveQueries(
+            [rename_injectively(q, i) for i, q in enumerate(disjuncts)]
+        )
+        assert all_answers(structure, union) == all_answers(structure, renamed)

@@ -2,11 +2,13 @@
 
 from repro.lf import Constant, Variable, atom, cq, parse_query
 from repro.rewriting import (
+    clear_subsume_cache,
     cq_equivalent,
     cq_subsumes,
     freeze,
     minimize_ucq,
     normalize_equalities,
+    subsume_cache_disabled,
     ucq_equivalent,
     ucq_subsumes,
 )
@@ -132,6 +134,38 @@ class TestMinimize:
         left = parse_query("E(x,y)")
         right = parse_query("E(u,w)")
         assert len(minimize_ucq([left, right])) == 1
+
+
+class TestCaching:
+    def test_cached_and_uncached_agree(self):
+        pairs = [
+            (parse_query("E(x,y)"), parse_query("E(x,y), E(y,z)")),
+            (parse_query("E(x,y), E(y,x)"), parse_query("E(x,x)")),
+            (parse_query("R(x,y)"), parse_query("E(x,y)")),
+            (cq([atom("E", x, y), atom("=", x, a)], free=(x,)),
+             cq([atom("E", a, y), atom("=", x, a)], free=(x,))),
+        ]
+        clear_subsume_cache()
+        cached = [cq_subsumes(g, s) for g, s in pairs]
+        cached_again = [cq_subsumes(g, s) for g, s in pairs]  # warm hits
+        with subsume_cache_disabled():
+            uncached = [cq_subsumes(g, s) for g, s in pairs]
+        assert cached == cached_again == uncached
+
+    def test_clear_is_safe_between_checks(self):
+        edge = parse_query("E(x,y)")
+        path = parse_query("E(x,y), E(y,z)")
+        assert cq_subsumes(edge, path)
+        clear_subsume_cache()
+        assert cq_subsumes(edge, path)
+
+    def test_disabled_context_restores(self):
+        from repro.rewriting import subsume
+
+        assert subsume._CACHE_ENABLED
+        with subsume_cache_disabled():
+            assert not subsume._CACHE_ENABLED
+        assert subsume._CACHE_ENABLED
 
 
 class TestUCQ:
