@@ -5,6 +5,14 @@ workloads of ``bench_perf_chase`` and ``bench_ablation_seminaive`` at
 reduced sizes and writes ``BENCH_chase.json`` next to this file — a
 cheap scoreboard a CI step or the next working session can diff.
 
+It also writes ``BENCH_fc.json``: the finite-model-search scoreboard
+(``bench_perf_fc``) — the delta engine (copy-on-write states,
+incremental saturation, canonical dedup) against :func:`legacy_search`
+on the Section 5.5 workloads and the Theorem-2 counter-model corpus.
+Node counts and verdicts are deterministic; each entry reports them
+next to the wall time, and the speedup block includes the node
+throughput ratio the acceptance bar is stated in.
+
 It also writes ``BENCH_hom.json``: microbenchmarks of the compiled
 join-plan evaluation path (:mod:`repro.lf.plan`) against the legacy
 backtracking matcher, on the workloads the planner was built for — the
@@ -36,6 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.chase import ChaseConfig, ChaseStrategy, chase, seminaive_saturate
+from repro.fc import SearchConfig, legacy_search, search_finite_model
 from repro.lf import (
     HOM_STATS,
     ConjunctiveQuery,
@@ -55,12 +64,18 @@ from repro.rewriting import (
 from repro.zoo import (
     chain_growth_theory,
     chain_structure,
+    disjoint_chains_database,
     random_edges_database,
+    section55_database,
+    section55_query,
+    section55_theory,
+    theorem2_corpus,
     transitive_theory,
 )
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
 HOM_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hom.json"
+FC_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fc.json"
 
 
 def timed(fn, repeat):
@@ -219,6 +234,80 @@ def hom_entries(full, repeat):
     return entries, speedups
 
 
+def fc_entries(full, repeat):
+    """The BENCH_fc scoreboard: (entries, speedups).
+
+    Each workload runs under the delta engine and ``legacy_search``;
+    verdicts and node counts must agree (the parity suite fuzzes the
+    same contract), so the wall and node-throughput ratios compare the
+    engines on identical search work.
+    """
+    entries = []
+    speedups = {}
+
+    def engines(database, theory, forbidden, max_elements):
+        delta = lambda: search_finite_model(
+            database, theory, forbidden=forbidden,
+            config=SearchConfig(max_elements=max_elements),
+        )
+        legacy = lambda: legacy_search(
+            database, theory, forbidden=forbidden, max_elements=max_elements,
+        )
+        return delta, legacy
+
+    def contrast(workload, key, database, theory, forbidden, max_elements):
+        delta_fn, legacy_fn = engines(database, theory, forbidden, max_elements)
+        per_engine = {}
+        for mode, fn in (("delta", delta_fn), ("legacy", legacy_fn)):
+            wall, outcome = timed(fn, repeat)
+            stats = outcome.stats
+            per_engine[mode] = (wall, outcome)
+            entries.append({
+                "workload": workload,
+                "engine": mode,
+                "wall_s": round(wall, 6),
+                "found": outcome.found,
+                "model_size": outcome.model.domain_size if outcome.found else 0,
+                "nodes_per_s": round(stats.nodes / max(wall, 1e-9), 1),
+                "stats": stats.as_dict(timings=False),
+            })
+        (delta_wall, delta_out), (legacy_wall, legacy_out) = (
+            per_engine["delta"], per_engine["legacy"])
+        assert delta_out.found == legacy_out.found, workload
+        speedups[key] = {
+            "wall": round(legacy_wall / max(delta_wall, 1e-9), 2),
+            "nodes_per_s": round(
+                (delta_out.stats.nodes / max(delta_wall, 1e-9))
+                / max(legacy_out.stats.nodes / max(legacy_wall, 1e-9), 1e-9),
+                2,
+            ),
+        }
+
+    theory = section55_theory()
+
+    # Section 5.5 exhaustive: every finite model within the bound
+    # satisfies the query, so both engines sweep the same node set.
+    me = 12 if full else 10
+    contrast(f"s55-exhaustive-me{me}", "s55_exhaustive",
+             section55_database(), theory, section55_query(), me)
+
+    # Section 5.5 model search: a wide frontier of chain-end branches
+    # the DFS never pops — the acceptance workload (>= 3x nodes/s).
+    chains = 12 if full else 10
+    contrast(f"s55-model-search-{chains}chains", "s55_model_search",
+             disjoint_chains_database(chains), theory, None,
+             44 if full else 40)
+
+    # Theorem 2: counter-model search on a corpus entry whose theory
+    # forks (two chains merge only in the forbidden query).
+    for name, t2_theory, t2_db, t2_query in theorem2_corpus():
+        if name == "two-chains/merge-query":
+            contrast("theorem2-two-chains", "theorem2",
+                     t2_db, t2_theory, t2_query, 7)
+
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -227,6 +316,7 @@ def main(argv=None):
                         help="timing repetitions (median is reported)")
     parser.add_argument("--output", type=Path, default=OUTPUT)
     parser.add_argument("--hom-output", type=Path, default=HOM_OUTPUT)
+    parser.add_argument("--fc-output", type=Path, default=FC_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -305,6 +395,24 @@ def main(argv=None):
     for name, factor in hom_speedups.items():
         print(f"planned/legacy speedup, {name}: {factor}x")
     print(f"wrote {args.hom_output}")
+
+    fc_entry_list, fc_speedups = fc_entries(args.full, args.repeat)
+    fc_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "entries": fc_entry_list,
+        "speedups": fc_speedups,
+    }
+    args.fc_output.write_text(
+        json.dumps(fc_payload, indent=2, sort_keys=True) + "\n")
+    for entry in fc_entry_list:
+        print(f"{entry['workload']:>34} {entry['engine']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  "
+              f"nodes={entry['stats']['nodes']} found={entry['found']}")
+    for name, ratios in fc_speedups.items():
+        print(f"legacy/delta speedup, {name}: wall {ratios['wall']}x, "
+              f"nodes/s {ratios['nodes_per_s']}x")
+    print(f"wrote {args.fc_output}")
     return 0
 
 

@@ -30,7 +30,7 @@ from .engine import (
 from .levels import chase_levels, observed_derivation_depth, query_depth_profile
 from .provenance import Derivation, deepest_derivation, explain, explain_all
 from .results import ChaseResult
-from .seminaive import seminaive_saturate
+from .seminaive import incremental_datalog_saturate, seminaive_saturate
 from .stats import ChaseStats, RoundStats
 from .termination import (
     DependencyGraph,
@@ -61,6 +61,7 @@ __all__ = [
     "dependency_graph",
     "explain",
     "explain_all",
+    "incremental_datalog_saturate",
     "is_model",
     "is_weakly_acyclic",
     "observed_derivation_depth",

@@ -7,6 +7,7 @@ Commands
 ``rewrite``      UCQ rewriting of a query (BDD route), with κ-style stats
 ``classify``     syntactic class profile of a theory
 ``countermodel`` the Theorem-2/3 pipeline: a finite model avoiding a query
+``fc-search``    bounded finite-model search (Definition 1 oracle)
 ``skeleton``     extract S(D,T) and check Lemma 3
 
 Theories/databases are files; pass ``-e`` to treat the arguments as
@@ -38,9 +39,11 @@ Exit codes
              included when a config says raise)
 ``2``        incomplete/unknown: a budget was exhausted before the
              verdict (``certain`` unknown, ``rewrite`` not saturated,
-             ``chase --explain`` target absent, Lemma-3 check failed)
+             ``chase --explain`` target absent, Lemma-3 check failed,
+             ``fc-search`` out of nodes before a verdict)
 ``3``        no counter-model exists: ``countermodel`` found the query
-             to be certain
+             to be certain, or ``fc-search`` exhausted the bounded
+             space without finding a model
 ===========  =========================================================
 """
 
@@ -276,6 +279,75 @@ def _cmd_countermodel(args) -> int:
     return EXIT_OK
 
 
+def _cmd_fc_search(args) -> int:
+    from .fc import SearchConfig, legacy_search, search_finite_model
+
+    theory = _theory(args)
+    database = _database(args)
+    forbidden = None
+    if args.query is not None:
+        free = [name for name in (args.free or "").split(",") if name]
+        forbidden = parse_query(args.query, free=free)
+    if args.legacy:
+        outcome = legacy_search(
+            database,
+            theory,
+            forbidden=forbidden,
+            max_elements=args.max_elements,
+            max_nodes=args.max_nodes,
+        )
+    else:
+        config = SearchConfig(
+            max_elements=args.max_elements,
+            max_nodes=args.max_nodes,
+            heuristic=args.heuristic,
+            canonical_dedup=not args.no_canonical_dedup,
+        )
+        outcome = search_finite_model(
+            database, theory, forbidden=forbidden, config=config
+        )
+    stats = outcome.stats
+    if outcome.found:
+        status, code = "model-found", EXIT_OK
+    elif stats.exhausted:
+        status, code = "exhausted-no-model", EXIT_NO_COUNTERMODEL
+    else:
+        status, code = "budget-exhausted", EXIT_INCOMPLETE
+    if args.json:
+        payload = {
+            "command": "fc-search",
+            "status": status,
+            "counts": {
+                "nodes": stats.nodes,
+                "duplicates": stats.duplicates,
+                "pruned_by_query": stats.pruned_by_query,
+                "model_size": (
+                    outcome.model.domain_size if outcome.model is not None else 0
+                ),
+            },
+            "facts": (
+                [str(f) for f in outcome.model.sorted_facts()]
+                if outcome.model is not None
+                else []
+            ),
+            "stats": _stats_dict(stats),
+        }
+        return _emit_json(payload, code)
+    if outcome.found:
+        print(f"# model found: {outcome.model.domain_size} elements, "
+              f"{len(outcome.model)} facts ({stats.nodes} nodes explored)")
+    elif stats.exhausted:
+        print(f"# no model with <= {args.max_elements} elements "
+              f"(exhaustive: {stats.nodes} nodes)")
+    else:
+        print(f"# inconclusive: budget exhausted after {stats.nodes} nodes")
+    _print_stats(args, stats)
+    if outcome.model is not None:
+        for fact in outcome.model.sorted_facts():
+            print(fact)
+    return code
+
+
 def _cmd_skeleton(args) -> int:
     from .skeleton import lemma3_report, skeleton
 
@@ -388,6 +460,35 @@ def build_parser() -> argparse.ArgumentParser:
     counter_cmd.add_argument("--free", help="comma-separated free variables")
     counter_cmd.add_argument("--depths", help="comma-separated chase depths")
     counter_cmd.set_defaults(handler=_cmd_countermodel)
+
+    search_cmd = commands.add_parser(
+        "fc-search",
+        help="bounded finite-model search (Definition 1 oracle)",
+        parents=[global_flags],
+    )
+    search_cmd.add_argument("theory")
+    search_cmd.add_argument("database")
+    search_cmd.add_argument(
+        "query", nargs="?", default=None,
+        help="forbidden query: search for a model NOT satisfying it",
+    )
+    search_cmd.add_argument("--free", help="comma-separated free variables")
+    search_cmd.add_argument("--max-elements", type=int, default=10)
+    search_cmd.add_argument("--max-nodes", type=int, default=50_000)
+    search_cmd.add_argument(
+        "--heuristic", default="dfs",
+        choices=["dfs", "smallest-domain", "fewest-violations"],
+        help="frontier ordering of the incremental engine",
+    )
+    search_cmd.add_argument(
+        "--legacy", action="store_true",
+        help="use the pre-rewrite engine (saturate-at-push, exact dedup)",
+    )
+    search_cmd.add_argument(
+        "--no-canonical-dedup", action="store_true",
+        help="hash states by raw fact sets instead of canonical keys",
+    )
+    search_cmd.set_defaults(handler=_cmd_fc_search)
 
     skeleton_cmd = commands.add_parser("skeleton", help="extract S(D,T)",
                                        parents=[global_flags])

@@ -2,8 +2,9 @@
 
 Every long-running engine in the library — the chase
 (:class:`repro.chase.ChaseConfig`), the UCQ rewriter
-(:class:`repro.rewriting.RewriteConfig`), and the Theorem-2 pipeline
-(:class:`repro.core.PipelineConfig`) — runs under *budgets* (the
+(:class:`repro.rewriting.RewriteConfig`), the Theorem-2 pipeline
+(:class:`repro.core.PipelineConfig`), and the finite-model search
+(:class:`repro.fc.SearchConfig`) — runs under *budgets* (the
 underlying problems are undecidable, so budgets are unavoidable) and
 must decide what to do when a budget is hit.  This module is the one
 place that contract lives:

@@ -9,21 +9,29 @@ from .order import (
     ordering_implies_query,
 )
 from .search import (
+    SEARCH_TIMING_FIELDS,
+    SearchConfig,
+    SearchHeuristic,
     SearchResult,
     SearchStats,
     every_finite_model_satisfies,
     find_counter_model,
+    legacy_search,
     search_finite_model,
 )
 
 __all__ = [
     "OrderingWitness",
+    "SEARCH_TIMING_FIELDS",
+    "SearchConfig",
+    "SearchHeuristic",
     "SearchResult",
     "SearchStats",
     "default_candidates",
     "every_finite_model_satisfies",
     "find_counter_model",
     "find_ordering",
+    "legacy_search",
     "minimize_model",
     "ordering_implies_query",
     "search_finite_model",

@@ -14,6 +14,7 @@ Quick tour
 from .atoms import EQUALITY, Atom, atom, atoms_constants, atoms_variables
 from .canonical import (
     FREE_VARIABLE,
+    canonical_key,
     canonical_label,
     canonical_query,
     isomorphic_over_constants,
@@ -105,6 +106,7 @@ __all__ = [
     "atom_to_text",
     "atoms_constants",
     "atoms_variables",
+    "canonical_key",
     "canonical_label",
     "canonical_query",
     "clear_plan_cache",

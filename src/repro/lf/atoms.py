@@ -43,6 +43,18 @@ class Atom:
         if not isinstance(self.args, tuple):
             object.__setattr__(self, "args", tuple(self.args))
 
+    def __hash__(self) -> int:
+        # Cached: facts live in sets and index buckets, and the
+        # generated dataclass hash would re-hash the argument tuple
+        # (and every term in it) on each membership test.  Consistent
+        # with the generated __eq__ (same pred, same args).
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.pred, self.args))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -18,8 +18,8 @@ Two constructions used throughout the positive-type machinery:
 
 from __future__ import annotations
 
-from itertools import permutations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from itertools import permutations, product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .atoms import Atom
 from .queries import ConjunctiveQuery
@@ -225,6 +225,164 @@ def canonical_label(structure: Structure) -> str:
     if not nonconstants:
         return render(())
     return min(render(order) for order in permutations(nonconstants))
+
+
+def _refine_classes(
+    structure: Structure, nonconstants: "Sequence[Element]"
+) -> "List[List[Element]]":
+    """Partition *nonconstants* by iterated neighbourhood colors.
+
+    Classic color refinement (1-WL) with constants as fixed anchors:
+    the initial color of an element is the multiset of fact shapes it
+    occurs in (constants spelled out, other non-constants blanked);
+    each round re-colors by the neighbours' current colors, until the
+    partition stops splitting.  Elements in different classes cannot be
+    exchanged by any isomorphism fixing the constants, so a canonical
+    form only needs to consider permutations *within* classes.
+
+    The class order returned is itself canonical (colors are ranks of
+    canonically-sorted view values, so the final color order is the
+    same for isomorphic structures), so renderings may rely on it.
+    """
+    # Elements are mapped to dense indices up front so the refinement
+    # rounds touch only ints and lists — Element hashes (dataclass
+    # field hashes) are paid once here, not once per lookup per round.
+    #
+    # Per-index templates, built once: each incident fact becomes a
+    # ``(skeleton, neighbours)`` pair where the skeleton spells out the
+    # predicate plus the constant/null positions, and *neighbours* lists
+    # the fact's non-constant arguments (as indices) in position order.
+    # A round's view of an element is then just the skeletons with the
+    # current neighbour colors appended — no per-round arg inspection.
+    total = len(nonconstants)
+    index: Dict[Element, int] = {element: i for i, element in enumerate(nonconstants)}
+    templates: List[List[Tuple]] = [[] for _ in range(total)]
+    for fact in structure.facts():
+        skeleton: List[str] = [fact.pred]
+        nulls: List[int] = []
+        for arg in fact.args:
+            if isinstance(arg, Constant):
+                skeleton.append("c:" + str(arg))
+            else:
+                skeleton.append("v%d" % len(nulls))
+                nulls.append(index[arg])
+        if not nulls:
+            continue
+        entry = (tuple(skeleton), tuple(nulls))
+        for i in set(nulls):
+            templates[i].append(entry)
+
+    # Seed colors with the BFS distance to the constants (through
+    # shared facts).  Distance is invariant under any isomorphism
+    # fixing the constants, and for the tree/path-shaped states the
+    # chase builds it discriminates most elements immediately — pure
+    # refinement from a uniform coloring would need one round per hop
+    # of diameter to propagate the same information.
+    neighbours: List[Set[int]] = [set() for _ in range(total)]
+    anchored: Set[int] = set()
+    for fact in structure.facts():
+        members = [index[arg] for arg in fact.args if not isinstance(arg, Constant)]
+        if not members:
+            continue
+        if len(members) < len(fact.args):
+            anchored.update(members)
+        for i in members:
+            neighbours[i].update(members)
+    distance = [total + 1] * total  # sentinel: unreachable from constants
+    frontier = sorted(anchored)
+    depth = 0
+    while frontier:
+        next_frontier: Set[int] = set()
+        for i in frontier:
+            if distance[i] <= depth:
+                continue
+            distance[i] = depth
+            next_frontier.update(neighbours[i])
+        frontier = [i for i in next_frontier if distance[i] > depth + 1]
+        depth += 1
+
+    # Colors are integers (ranks of sorted distinct views).  Because a
+    # view embeds the element's current color, colors only ever refine:
+    # once two elements get different colors they keep different colors,
+    # so the *final* color alone identifies an element's class.
+    rank = {d: r for r, d in enumerate(sorted(set(distance)))}
+    color = [rank[d] for d in distance]
+    classes = len(rank)
+
+    while classes < total:
+        views = [
+            (color[i], tuple(sorted(
+                (skeleton, tuple(color[j] for j in nulls))
+                for skeleton, nulls in templates[i]
+            )))
+            for i in range(total)
+        ]
+        palette = {v: rank for rank, v in enumerate(sorted(set(views)))}
+        color = [palette[view] for view in views]
+        if len(palette) == classes:
+            break
+        classes = len(palette)
+
+    grouped: Dict[int, List[Element]] = {}
+    for i, element in enumerate(nonconstants):
+        grouped.setdefault(color[i], []).append(element)
+    return [grouped[key] for key in sorted(grouped)]
+
+
+def canonical_key(structure: Structure, max_orders: int = 40_320) -> str:
+    """A dedup key invariant under renaming the non-constant elements.
+
+    Two structures with equal keys are isomorphic over the constants
+    (a key spells out the full fact set up to element indexing), and —
+    when the permutation search below is exact — isomorphic structures
+    get equal keys.  This is what the finite-model search hashes its
+    states by: rules and queries never mention nulls, so states that
+    differ only in invented null names have identical futures.
+
+    Unlike :func:`canonical_label` this has no hard size limit: color
+    refinement first splits the non-constant elements into
+    exchangeability classes, and only permutations within classes are
+    searched.  If that search space still exceeds *max_orders*, the key
+    falls back to the raw element names — still sound for dedup (equal
+    keys still imply isomorphism), merely no longer renaming-invariant
+    for that state.
+    """
+    nonconstants = sorted(structure.nonconstant_elements(), key=str)
+    suffix = "|n=%d|con=%s" % (
+        len(nonconstants),
+        ",".join(sorted(str(c) for c in structure.constant_elements())),
+    )
+
+    def render(order: Sequence[Element]) -> str:
+        table = {element: f"#{i}" for i, element in enumerate(order)}
+        lines = []
+        for fact in structure.facts():
+            args = ",".join(
+                f"c:{arg}" if isinstance(arg, Constant) else table[arg]
+                for arg in fact.args
+            )
+            lines.append(f"{fact.pred}({args})")
+        lines.sort()
+        return ";".join(lines) + suffix
+
+    if not nonconstants:
+        return render(())
+
+    classes = _refine_classes(structure, nonconstants)
+    total = 1
+    for group in classes:
+        for size in range(2, len(group) + 1):
+            total *= size
+        if total > max_orders:
+            return render(nonconstants)
+
+    if total == 1:
+        return render([element for group in classes for element in group])
+    orderings = product(*(permutations(group) for group in classes))
+    return min(
+        render([element for group in ordering for element in group])
+        for ordering in orderings
+    )
 
 
 def isomorphic_over_constants(left: Structure, right: Structure) -> bool:

@@ -317,8 +317,25 @@ class Structure:
     # Copying and presentation
     # ------------------------------------------------------------------
     def copy(self) -> "Structure":
-        """An independent copy with the same facts, domain and signature."""
-        return Structure(self._facts, domain=self._domain, signature=self._signature)
+        """An independent copy with the same facts, domain and signature.
+
+        Copies the indexes directly instead of re-inserting every fact:
+        the facts already passed the signature checks when first added,
+        so re-validating them is pure overhead.  This is the branching
+        cost of every search/chase state, hence the fast path.  The
+        probe counter starts back at zero (see :attr:`index_probes`).
+        """
+        clone = Structure.__new__(Structure)
+        clone._facts = set(self._facts)
+        clone._domain = set(self._domain)
+        clone._by_pred = {pred: set(bucket) for pred, bucket in self._by_pred.items()}
+        clone._by_pred_pos = {
+            key: set(bucket) for key, bucket in self._by_pred_pos.items()
+        }
+        clone._probe_count = 0
+        clone._strict = self._strict
+        clone._signature = self._signature
+        return clone
 
     def sorted_facts(self) -> List[Atom]:
         """Facts in a deterministic order (for display and hashing)."""

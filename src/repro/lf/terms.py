@@ -39,6 +39,18 @@ class Variable:
         if not self.name:
             raise ValueError("variable name must be non-empty")
 
+    def __hash__(self) -> int:
+        # Cached: terms are hashed millions of times (set members, dict
+        # keys in bindings and indexes) and the generated dataclass hash
+        # rebuilds a field tuple per call.  Consistent with the
+        # generated __eq__ (same class, same name).
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(("Variable", self.name))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"?{self.name}"
 
@@ -60,6 +72,15 @@ class Constant:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("constant name must be non-empty")
+
+    def __hash__(self) -> int:
+        # Cached — see Variable.__hash__.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(("Constant", self.name))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"'{self.name}'"
@@ -90,6 +111,17 @@ class Null:
     ident: int
     rule_index: int = field(default=-1, compare=False)
     level: int = field(default=-1, compare=False)
+
+    def __hash__(self) -> int:
+        # Cached — see Variable.__hash__.  Only ``ident`` participates,
+        # matching the generated __eq__ (provenance fields are
+        # compare=False).
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(("Null", self.ident))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"_:{self.ident}"

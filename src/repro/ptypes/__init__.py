@@ -5,6 +5,13 @@ This package implements Sections 2.2–2.3 of the paper: Definition 3
 Lemma 1, and the (♠1) induced projections.
 """
 
+from .bruteforce import (
+    brute_force_equivalent,
+    brute_force_subsumed,
+    brute_force_type,
+    clear_type_query_cache,
+    enumerate_type_queries,
+)
 from .partition import TypePartition
 from .ptype import (
     boolean_type_queries,
@@ -26,8 +33,13 @@ from .quotient import (
 
 __all__ = [
     "Quotient",
-    "boolean_type_queries",
     "TypePartition",
+    "boolean_type_queries",
+    "brute_force_equivalent",
+    "brute_force_subsumed",
+    "brute_force_type",
+    "clear_type_query_cache",
+    "enumerate_type_queries",
     "equivalent",
     "induced_projection",
     "is_homomorphic_image",

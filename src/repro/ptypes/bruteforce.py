@@ -28,6 +28,21 @@ from ..lf.structures import Structure
 from ..lf.terms import Constant, Element, Variable
 
 
+#: Memo for :func:`enumerate_type_queries`: the enumeration is pure in
+#: its parameters and exponentially expensive, and the brute-force
+#: cross-validators call it once per element pair with identical
+#: parameters.  Keyed on the full (normalised) parameter tuple; bounded
+#: — cleared wholesale when full — because cached tuples hold entire
+#: query lists.
+_TYPE_QUERY_CACHE: "dict[tuple, Tuple[ConjunctiveQuery, ...]]" = {}
+_TYPE_QUERY_CACHE_MAX = 64
+
+
+def clear_type_query_cache() -> None:
+    """Drop the :func:`enumerate_type_queries` memo (for tests)."""
+    _TYPE_QUERY_CACHE.clear()
+
+
 def enumerate_type_queries(
     signature_relations: "dict[str, int]",
     constants: Iterable[Constant],
@@ -41,9 +56,40 @@ def enumerate_type_queries(
     to canonical renaming.  Queries whose free variable does not occur
     are skipped (they say nothing about the element).  With
     *include_equalities*, the Remark-1 queries ``y = c`` are included.
+
+    Results are memoised per parameter set (the enumeration is pure and
+    deterministic); callers get a generator over the cached tuple.
     """
     if n < 1:
         return
+    constant_list = sorted(constants, key=str)
+    key = (
+        tuple(sorted(signature_relations.items())),
+        tuple(constant_list),
+        n,
+        max_atoms,
+        include_equalities,
+    )
+    cached = _TYPE_QUERY_CACHE.get(key)
+    if cached is None:
+        cached = tuple(
+            _enumerate_type_queries(
+                signature_relations, constant_list, n, max_atoms, include_equalities
+            )
+        )
+        if len(_TYPE_QUERY_CACHE) >= _TYPE_QUERY_CACHE_MAX:
+            _TYPE_QUERY_CACHE.clear()
+        _TYPE_QUERY_CACHE[key] = cached
+    yield from cached
+
+
+def _enumerate_type_queries(
+    signature_relations: "dict[str, int]",
+    constants: Iterable[Constant],
+    n: int,
+    max_atoms: int,
+    include_equalities: bool,
+) -> Iterator[ConjunctiveQuery]:
     variables: List[Variable] = [FREE_VARIABLE] + [
         Variable(f"x{i}") for i in range(n - 1)
     ]

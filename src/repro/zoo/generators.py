@@ -70,6 +70,32 @@ def grid_structure(rows: int, cols: int) -> Structure:
     return Structure(facts)
 
 
+def disjoint_chains_database(
+    chains: int,
+    length: int = 1,
+    pred: str = "E",
+    anchor: Optional[str] = "R",
+) -> Structure:
+    """*chains* disjoint E-chains of *length* edges over named constants,
+    plus one ``anchor(a0, a0)`` loop (skipped when *anchor* is None).
+
+    The Section 5.5 model-search benchmark workload: every chain end
+    violates the growth rule, so an eager engine saturates a wide
+    frontier of branches the search never pops — exactly the work the
+    copy-on-write engine skips.
+    """
+    facts: List[Atom] = []
+    counter = 0
+    for _ in range(chains):
+        elements = [Constant(f"b{counter + i}") for i in range(length + 1)]
+        counter += length + 1
+        facts.extend(atom(pred, u, v) for u, v in zip(elements, elements[1:]))
+    if anchor is not None:
+        a0 = Constant("a0")
+        facts.append(atom(anchor, a0, a0))
+    return Structure(facts)
+
+
 def random_edges_database(
     size: int,
     edges: int,

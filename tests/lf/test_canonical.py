@@ -8,6 +8,7 @@ from repro.lf import (
     Null,
     Structure,
     atom,
+    canonical_key,
     canonical_label,
     canonical_query,
     isomorphic_over_constants,
@@ -132,3 +133,75 @@ class TestIsomorphicOverConstants:
         small = Structure([atom("E", n0, n1)])
         big = Structure([atom("E", n0, n1), atom("E", n1, n2)])
         assert not isomorphic_over_constants(small, big)
+
+
+class TestCanonicalKey:
+    def test_invariant_under_null_renaming(self):
+        left = Structure([atom("E", a, n0), atom("E", n0, n1), atom("U", n1)])
+        right = Structure([atom("E", a, Null(41)), atom("E", Null(41), Null(7)), atom("U", Null(7))])
+        assert canonical_key(left) == canonical_key(right)
+
+    def test_distinguishes_direction(self):
+        left = Structure([atom("E", a, n0)])
+        right = Structure([atom("E", n0, a)])
+        assert canonical_key(left) != canonical_key(right)
+
+    def test_constants_anchor(self):
+        # Renaming a *constant* must change the key: isomorphisms fix
+        # the constants, so E(a,n) and E(b,n) are different states.
+        left = Structure([atom("E", a, n0)])
+        right = Structure([atom("E", b, n0)])
+        assert canonical_key(left) != canonical_key(right)
+
+    def test_distinguishes_path_from_fork(self):
+        path = Structure([atom("E", n0, n1), atom("E", n1, n2)])
+        fork = Structure([atom("E", n0, n1), atom("E", n0, n2)])
+        assert canonical_key(path) != canonical_key(fork)
+
+    def test_constant_only_structure(self):
+        s = Structure([atom("E", a, b), atom("R", a, a)])
+        t = Structure([atom("E", a, b), atom("R", a, a)])
+        assert canonical_key(s) == canonical_key(t)
+
+    def test_symmetric_nulls_collapse(self):
+        # Two exchangeable branches E(a,n0), E(a,n1): swapping the nulls
+        # is an isomorphism, so any renaming yields the same key.
+        left = Structure([atom("E", a, n0), atom("E", a, n1)])
+        right = Structure([atom("E", a, Null(9)), atom("E", a, Null(3))])
+        assert canonical_key(left) == canonical_key(right)
+
+    def test_long_chain_no_size_limit(self):
+        # canonical_label refuses > 7 nulls; canonical_key must not.
+        chain = [atom("E", a, Null(0))] + [
+            atom("E", Null(i), Null(i + 1)) for i in range(12)
+        ]
+        renamed = [atom("E", a, Null(100))] + [
+            atom("E", Null(100 + i), Null(100 + i + 1)) for i in range(12)
+        ]
+        assert canonical_key(Structure(chain)) == canonical_key(Structure(renamed))
+
+    def test_agrees_with_isomorphism_check(self):
+        # On structures small enough for canonical_label, equal keys
+        # must coincide with isomorphic_over_constants.
+        candidates = [
+            Structure([atom("E", a, n0), atom("E", n0, n1)]),
+            Structure([atom("E", a, n1), atom("E", n1, n2)]),
+            Structure([atom("E", a, n0), atom("E", n1, n0)]),
+            Structure([atom("E", n0, a), atom("E", a, n1)]),
+        ]
+        for left in candidates:
+            for right in candidates:
+                same_key = canonical_key(left) == canonical_key(right)
+                assert same_key == isomorphic_over_constants(left, right)
+
+    def test_fallback_still_sound(self):
+        # With max_orders=0 every keyed structure falls back to the raw
+        # rendering; equal keys must still imply equal fact sets.
+        left = Structure([atom("E", a, n0), atom("E", a, n1)])
+        right = Structure([atom("E", a, Null(9)), atom("E", a, Null(3))])
+        key_left = canonical_key(left, max_orders=0)
+        key_right = canonical_key(right, max_orders=0)
+        # Possibly unequal (no renaming invariance in fallback mode) but
+        # deterministic, and identical structures agree.
+        assert key_left == canonical_key(left, max_orders=0)
+        assert key_right == canonical_key(right, max_orders=0)

@@ -1,0 +1,56 @@
+"""Memoisation of the brute-force type-query enumerator."""
+
+from repro.lf import Constant
+from repro.ptypes import clear_type_query_cache, enumerate_type_queries
+from repro.ptypes import bruteforce
+
+
+def setup_function(_fn):
+    clear_type_query_cache()
+
+
+def test_repeat_enumeration_is_cached():
+    relations = {"E": 2, "U": 1}
+    constants = [Constant("a")]
+    first = list(enumerate_type_queries(relations, constants, 2, 2))
+    assert bruteforce._TYPE_QUERY_CACHE
+    second = list(enumerate_type_queries(relations, constants, 2, 2))
+    assert first == second
+    assert len(bruteforce._TYPE_QUERY_CACHE) == 1
+
+
+def test_cache_key_distinguishes_parameters():
+    relations = {"E": 2}
+    constants = [Constant("a")]
+    list(enumerate_type_queries(relations, constants, 2, 1))
+    list(enumerate_type_queries(relations, constants, 2, 2))
+    list(enumerate_type_queries(relations, constants, 2, 2, include_equalities=False))
+    assert len(bruteforce._TYPE_QUERY_CACHE) == 3
+
+
+def test_constant_order_does_not_split_cache():
+    relations = {"E": 2}
+    a, b = Constant("a"), Constant("b")
+    first = list(enumerate_type_queries(relations, [a, b], 2, 1))
+    second = list(enumerate_type_queries(relations, [b, a], 2, 1))
+    assert first == second
+    assert len(bruteforce._TYPE_QUERY_CACHE) == 1
+
+
+def test_generator_contract_preserved():
+    # Callers may consume lazily / partially; the memo must not break
+    # the iterator protocol or mutate across consumers.
+    relations = {"E": 2}
+    constants = [Constant("a")]
+    gen = enumerate_type_queries(relations, constants, 2, 1)
+    head = next(gen)
+    rest = list(gen)
+    full = list(enumerate_type_queries(relations, constants, 2, 1))
+    assert [head, *rest] == full
+
+
+def test_clear_cache():
+    list(enumerate_type_queries({"E": 2}, [], 2, 1))
+    assert bruteforce._TYPE_QUERY_CACHE
+    clear_type_query_cache()
+    assert not bruteforce._TYPE_QUERY_CACHE

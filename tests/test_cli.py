@@ -149,3 +149,72 @@ class TestSkeleton:
         assert code == 0
         assert "Lemma 3" in out
         assert "forest=True" in out
+
+
+class TestFcSearch:
+    def test_model_found(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "--max-elements", "5"
+        )
+        assert code == 0
+        assert "model found" in out
+        assert "E(a, b)" in out
+
+    def test_forbidden_query_positive(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "E(x,x)",
+            "--max-elements", "5",
+        )
+        assert code == 0
+        assert "model found" in out
+        assert "E(b, b)" not in out
+
+    def test_exhausted_no_model_exit_3(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "E(x,y)",
+            "--max-elements", "4",
+        )
+        assert code == 3
+        assert "no model" in out
+
+    def test_budget_exhausted_exit_2(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "E(x,x)",
+            "--max-elements", "3", "--max-nodes", "1",
+        )
+        assert code == 2
+        assert "inconclusive" in out
+
+    def test_stats_lines(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "--max-elements", "5",
+            "--stats",
+        )
+        assert code == 0
+        assert "# search: engine=delta" in out
+        assert "# states:" in out
+        assert "# saturation:" in out
+
+    def test_legacy_engine(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "--max-elements", "5",
+            "--legacy", "--stats",
+        )
+        assert code == 0
+        assert "engine=legacy" in out
+
+    def test_heuristic_flag(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "--max-elements", "5",
+            "--heuristic", "smallest-domain", "--stats",
+        )
+        assert code == 0
+        assert "heuristic=smallest-domain" in out
+
+    def test_no_canonical_dedup_flag(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "fc-search", LINEAR, DB, "--max-elements", "5",
+            "--no-canonical-dedup", "--stats",
+        )
+        assert code == 0
+        assert "canonical_keys=0" in out

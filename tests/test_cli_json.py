@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.chase.stats import TIMING_FIELDS
+from repro.fc import SEARCH_TIMING_FIELDS
 from repro.cli import (
     EXIT_ERROR,
     EXIT_INCOMPLETE,
@@ -32,13 +33,16 @@ def run_json(capsys, *argv):
     return code, json.loads(lines[0])
 
 
+NONDETERMINISTIC = frozenset(TIMING_FIELDS) | frozenset(SEARCH_TIMING_FIELDS)
+
+
 def strip_timings(payload):
     """Drop the documented nondeterministic fields, recursively."""
     if isinstance(payload, dict):
         return {
             key: strip_timings(value)
             for key, value in payload.items()
-            if key not in TIMING_FIELDS
+            if key not in NONDETERMINISTIC
         }
     if isinstance(payload, list):
         return [strip_timings(item) for item in payload]
@@ -55,6 +59,8 @@ class TestJsonShape:
         ("countermodel", ["-e", "countermodel", LINEAR, DB, "E(x,x)"],
          EXIT_OK),
         ("skeleton", ["-e", "skeleton", EXAMPLE7, DB], EXIT_OK),
+        ("fc-search", ["-e", "fc-search", LINEAR, DB, "--max-elements", "5"],
+         EXIT_OK),
     ]
 
     @pytest.mark.parametrize(
@@ -98,6 +104,29 @@ class TestJsonShape:
         assert payload["status"] == "query-certain"
         assert payload["facts"] == []
 
+    def test_fc_search_model_found_payload(self, capsys):
+        code, payload = run_json(capsys, "-e", "fc-search", LINEAR, DB,
+                                 "--max-elements", "5", "--json")
+        assert code == EXIT_OK
+        assert payload["status"] == "model-found"
+        assert payload["counts"]["model_size"] >= 2
+        assert payload["facts"] == sorted(payload["facts"])
+        assert payload["stats"]["engine"] == "delta"
+
+    def test_fc_search_exhausted_maps_to_exit_3(self, capsys):
+        code, payload = run_json(capsys, "-e", "fc-search", LINEAR, DB,
+                                 "E(x,y)", "--max-elements", "4", "--json")
+        assert code == EXIT_NO_COUNTERMODEL
+        assert payload["status"] == "exhausted-no-model"
+        assert payload["facts"] == []
+
+    def test_fc_search_budget_maps_to_exit_2(self, capsys):
+        code, payload = run_json(capsys, "-e", "fc-search", LINEAR, DB,
+                                 "E(x,x)", "--max-elements", "3",
+                                 "--max-nodes", "1", "--json")
+        assert code == EXIT_INCOMPLETE
+        assert payload["status"] == "budget-exhausted"
+
     def test_parse_errors_are_json_too(self, capsys):
         code, payload = run_json(capsys, "--json", "-e", "chase",
                                  "E(x,y -> broken", DB)
@@ -109,6 +138,13 @@ class TestJsonShape:
 class TestDeterminism:
     def test_json_deterministic_modulo_timings(self, capsys):
         argv = ("-e", "chase", LINEAR, DB, "--depth", "4", "--json")
+        _, first = run_json(capsys, *argv)
+        _, second = run_json(capsys, *argv)
+        assert first != {} and strip_timings(first) == strip_timings(second)
+
+    def test_fc_search_json_deterministic_modulo_timings(self, capsys):
+        argv = ("-e", "fc-search", LINEAR, DB, "E(x,y)",
+                "--max-elements", "4", "--json")
         _, first = run_json(capsys, *argv)
         _, second = run_json(capsys, *argv)
         assert first != {} and strip_timings(first) == strip_timings(second)
