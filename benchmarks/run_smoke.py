@@ -24,6 +24,16 @@ speedup; the parity of the two paths is enforced by the property suite
 (``tests/property/test_plan_parity.py``), so the modes are comparable
 by construction.
 
+It also writes ``BENCH_rewrite.json``: the UCQ-rewriting scoreboard
+(``bench_perf_rewriting``) — the indexed worklist engine against
+:func:`~repro.rewriting.legacy_rewrite` on the Theorem-2 corpus
+(``theorem2_corpus(extended=True)``, which opts into the heavy
+``linear-mix/P5-cycle-stress`` entry) and the deepest zoo growth
+chain.  Both engines run under the same budget with the subsumption
+cache cleared in between; outputs are checked UCQ-equivalent whenever
+both saturate, so the candidate-throughput ratio (the acceptance bar:
+>= 3x on the corpus stage) compares identical semantic work.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
@@ -56,10 +66,15 @@ from repro.lf import (
     planner_disabled,
     satisfies,
 )
+from repro.config import OnBudget
 from repro.rewriting import (
+    RewriteConfig,
     clear_subsume_cache,
+    legacy_rewrite,
     minimize_ucq,
+    rewrite,
     subsume_cache_disabled,
+    ucq_equivalent,
 )
 from repro.zoo import (
     chain_growth_theory,
@@ -76,6 +91,7 @@ from repro.zoo import (
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
 HOM_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hom.json"
 FC_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fc.json"
+REWRITE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_rewrite.json"
 
 
 def timed(fn, repeat):
@@ -308,6 +324,80 @@ def fc_entries(full, repeat):
     return entries, speedups
 
 
+def rewrite_entries(full, repeat):
+    """The BENCH_rewrite scoreboard: (entries, speedups).
+
+    Every workload runs under the indexed engine and ``legacy_rewrite``
+    with the same budget; wherever both saturate the outputs are
+    asserted UCQ-equivalent, so the throughput ratios compare engines
+    doing the same semantic work.  The stage ratio is aggregate
+    candidate throughput (total candidates / total wall), which is what
+    the acceptance bar (>= 3x on the Theorem-2 corpus stage) binds.
+    """
+    entries = []
+    speedups = {}
+
+    config = RewriteConfig(
+        max_steps=200_000 if full else 100_000,
+        max_queries=4_000 if full else 2_000,
+        on_budget=OnBudget.RETURN,
+    )
+
+    def contrast(stage, workloads):
+        """Run each (name, theory, query) under both engines; return
+        the stage-aggregate candidate-throughput ratio."""
+        totals = {"indexed": [0, 0.0], "legacy": [0, 0.0]}
+        for name, theory, query in workloads:
+            results = {}
+            for mode, engine in (("indexed", rewrite), ("legacy", legacy_rewrite)):
+                clear_subsume_cache()
+                wall, result = timed(lambda: engine(query, theory, config), repeat)
+                results[mode] = result
+                totals[mode][0] += result.stats.candidates
+                totals[mode][1] += wall
+                entries.append({
+                    "stage": stage,
+                    "workload": name,
+                    "engine": mode,
+                    "wall_s": round(wall, 6),
+                    "saturated": result.saturated,
+                    "disjuncts": len(result.ucq),
+                    "candidates": result.stats.candidates,
+                    "candidates_per_s": round(
+                        result.stats.candidates / max(wall, 1e-9), 1),
+                    "stats": result.stats.as_dict(timings=False),
+                })
+            if results["indexed"].saturated and results["legacy"].saturated:
+                assert ucq_equivalent(
+                    results["indexed"].ucq, results["legacy"].ucq), name
+        indexed_rate = totals["indexed"][0] / max(totals["indexed"][1], 1e-9)
+        legacy_rate = totals["legacy"][0] / max(totals["legacy"][1], 1e-9)
+        speedups[stage] = {
+            "wall": round(totals["legacy"][1] / max(totals["indexed"][1], 1e-9), 2),
+            "candidates_per_s": round(indexed_rate / max(legacy_rate, 1e-9), 2),
+        }
+
+    # Theorem-2 corpus, including the rewriting stress entry the
+    # extended corpus opts into — the acceptance workload.
+    contrast("theorem2-corpus", [
+        (name, theory, query)
+        for name, theory, _db, query in theorem2_corpus(extended=True)
+    ])
+
+    # The deepest zoo growth chain: an 8-predicate ladder with a
+    # multi-predicate path query.  Small closure (the per-step overhead
+    # bound), kept as the honest low end of the scoreboard.
+    depth = 8
+    ladder = chain_growth_theory(depth)
+    vs = [Variable(f"v{i}") for i in range(5)]
+    path = ConjunctiveQuery(
+        [atom(f"P{i % depth}", vs[i], vs[i + 1]) for i in range(4)], (vs[0],)
+    )
+    contrast("zoo-chain", [(f"chain-growth-p{depth}-path4", ladder, path)])
+
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -317,6 +407,7 @@ def main(argv=None):
     parser.add_argument("--output", type=Path, default=OUTPUT)
     parser.add_argument("--hom-output", type=Path, default=HOM_OUTPUT)
     parser.add_argument("--fc-output", type=Path, default=FC_OUTPUT)
+    parser.add_argument("--rewrite-output", type=Path, default=REWRITE_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -413,6 +504,25 @@ def main(argv=None):
         print(f"legacy/delta speedup, {name}: wall {ratios['wall']}x, "
               f"nodes/s {ratios['nodes_per_s']}x")
     print(f"wrote {args.fc_output}")
+
+    rw_entry_list, rw_speedups = rewrite_entries(args.full, args.repeat)
+    rw_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "entries": rw_entry_list,
+        "speedups": rw_speedups,
+    }
+    args.rewrite_output.write_text(
+        json.dumps(rw_payload, indent=2, sort_keys=True) + "\n")
+    for entry in rw_entry_list:
+        print(f"{entry['workload']:>34} {entry['engine']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  "
+              f"disjuncts={entry['disjuncts']} "
+              f"cand/s={entry['candidates_per_s']}")
+    for name, ratios in rw_speedups.items():
+        print(f"legacy/indexed speedup, {name}: wall {ratios['wall']}x, "
+              f"candidates/s {ratios['candidates_per_s']}x")
+    print(f"wrote {args.rewrite_output}")
     return 0
 
 

@@ -181,7 +181,7 @@ def _cmd_certain(args) -> int:
 
 def _cmd_rewrite(args) -> int:
     from .config import OnBudget
-    from .rewriting import RewriteConfig, rewrite
+    from .rewriting import RewriteConfig, legacy_rewrite, rewrite
 
     theory = _theory(args)
     query = _query(args)
@@ -190,7 +190,8 @@ def _cmd_rewrite(args) -> int:
         max_queries=args.max_queries,
         on_budget=OnBudget.RETURN,
     )
-    result = rewrite(query, theory, config)
+    engine = legacy_rewrite if args.legacy else rewrite
+    result = engine(query, theory, config)
     code = EXIT_OK if result.saturated else EXIT_INCOMPLETE
     if args.json:
         payload = {
@@ -204,11 +205,13 @@ def _cmd_rewrite(args) -> int:
                 "depth_bound": result.depth_bound,
             },
             "disjuncts": [str(d) for d in result.ucq],
+            "stats": _stats_dict(result.stats),
         }
         return _emit_json(payload, code)
     status = "saturated" if result.saturated else "budget-exhausted (incomplete!)"
     print(f"# {status}: {len(result.ucq)} disjuncts, max width "
           f"{result.max_width}, k_psi <= {result.depth_bound}")
+    _print_stats(args, result.stats)
     for disjunct in result.ucq:
         print(disjunct)
     return code
@@ -443,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite_cmd.add_argument("--free", help="comma-separated free variables")
     rewrite_cmd.add_argument("--max-steps", type=int, default=20_000)
     rewrite_cmd.add_argument("--max-queries", type=int, default=2_000)
+    rewrite_cmd.add_argument(
+        "--legacy", action="store_true",
+        help="use the quadratic-frontier baseline engine (ablation)")
     rewrite_cmd.set_defaults(handler=_cmd_rewrite)
 
     classify_cmd = commands.add_parser("classify", help="syntactic classes",

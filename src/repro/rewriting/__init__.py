@@ -23,7 +23,9 @@ from .bdd import (
     kappa,
     rewrite_query,
 )
-from .rewriter import RewriteConfig, RewritingResult, rewrite
+from .index import SubsumptionIndex, signature_of
+from .rewriter import RewriteConfig, RewritingResult, legacy_rewrite, rewrite
+from .stats import REWRITE_TIMING_FIELDS, RewriteStats
 from .subsume import (
     clear_subsume_cache,
     cq_equivalent,
@@ -39,9 +41,12 @@ from .unify import Unifier, mgu, unify_all
 
 __all__ = [
     "BDDProfile",
+    "REWRITE_TIMING_FIELDS",
     "RewriteConfig",
+    "RewriteStats",
     "RewritingResult",
     "RuleRewriting",
+    "SubsumptionIndex",
     "Unifier",
     "answer_by_rewriting",
     "answers_by_rewriting",
@@ -53,11 +58,13 @@ __all__ = [
     "subsume_cache_disabled",
     "is_bdd_for",
     "kappa",
+    "legacy_rewrite",
     "mgu",
     "minimize_ucq",
     "normalize_equalities",
     "rewrite",
     "rewrite_query",
+    "signature_of",
     "ucq_equivalent",
     "ucq_subsumes",
     "unify_all",

@@ -20,10 +20,41 @@ XRewrite family) for single-head rules:
 Saturation of this procedure is a *certificate* that the input query is
 FO-rewritable under T; exhaustion of the step budget leaves the status
 unknown (BDD is undecidable, so a budget is unavoidable).
+
+Engine architecture
+-------------------
+:func:`rewrite` is a worklist engine built for throughput on the
+rewriting-set explosion both follow-up papers identify as the central
+computational obstacle:
+
+* the worklist holds *canonical forms* (variables ``f0…/v0…``), so one
+  reserved-namespace rule instance per rule (``_w{i}_{j}`` variables)
+  is provably disjoint from every query it resolves against — the
+  per-step :meth:`~repro.lf.rules.Rule.rename_apart` of the legacy
+  engine disappears entirely;
+* rules are dispatched from a per-(predicate, arity) table, and cheap
+  *applicability prefilters* (head constants clashing with the target,
+  existential head positions unified with a constant or a free
+  variable) reject hopeless resolution attempts before any unifier is
+  built;
+* the eager-subsumption frontier is a
+  :class:`~repro.rewriting.index.SubsumptionIndex`: a fresh disjunct is
+  homomorphism-checked only against structurally comparable kept
+  disjuncts instead of the whole UCQ;
+* every run records a :class:`~repro.rewriting.stats.RewriteStats`
+  (step/candidate funnel, index effectiveness, phase wall times) on
+  :attr:`RewritingResult.stats`.
+
+:func:`legacy_rewrite` keeps the original quadratic loop callable as
+the ablation baseline; the property suite
+(``tests/property/test_rewrite_parity.py``) holds the two engines to
+UCQ-equivalent saturated outputs.
 """
 
 from __future__ import annotations
 
+import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -33,6 +64,8 @@ from ..lf.atoms import Atom
 from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..lf.rules import Rule, Theory
 from ..lf.terms import Constant, Term, Variable
+from .index import SubsumptionIndex, minimize_indexed
+from .stats import RewriteStats
 from .subsume import cq_subsumes, minimize_ucq, normalize_equalities
 from .unify import Unifier
 
@@ -97,6 +130,9 @@ class RewritingResult:
         ``Chase^{depth_bound}(D,T) ⊨ Ψ`` — the standard definition of
         BDD from Section 1.1, made effective.  (Factorisation steps do
         not count: a factored match *is* a match of its parent.)
+    stats:
+        Per-run instrumentation (:class:`~repro.rewriting.stats.RewriteStats`).
+        ``None`` only on hand-built results.
     """
 
     ucq: UnionOfConjunctiveQueries
@@ -104,19 +140,33 @@ class RewritingResult:
     steps: int
     generated: int
     depth_bound: int = 0
+    stats: "Optional[RewriteStats]" = None
 
     @property
     def max_width(self) -> int:
-        """Largest variable count among disjuncts (κ's ingredient)."""
+        """Largest variable count among disjuncts (κ's ingredient).
+
+        ``0`` for the empty rewriting — an unsatisfiable query rewrites
+        to the empty UCQ (``false``), and hand-built results may carry
+        ``ucq=None``; neither case may raise (regression: the κ
+        aggregation and ``__str__`` both touch this on every result).
+        """
+        if self.ucq is None or len(self.ucq) == 0:
+            return 0
         return self.ucq.max_width
 
     def __str__(self) -> str:
         status = "saturated" if self.saturated else "budget-exhausted"
+        disjuncts = 0 if self.ucq is None else len(self.ucq)
         return (
-            f"RewritingResult({status}, {len(self.ucq)} disjuncts, "
+            f"RewritingResult({status}, {disjuncts} disjuncts, "
             f"{self.steps} steps, max width {self.max_width})"
         )
 
+
+# ----------------------------------------------------------------------
+# Shared step primitives (used by both engines and tested directly)
+# ----------------------------------------------------------------------
 
 def _rename_rule_apart(rule: Rule, query: ConjunctiveQuery, counter: int) -> Rule:
     """Rename *rule* so its variables are disjoint from the query's."""
@@ -149,10 +199,29 @@ def _applicable(
                 occurrences[arg] = occurrences.get(arg, 0) + 1
                 if item == target:
                     inside_target[arg] = inside_target.get(arg, 0) + 1
-    free = set(query.free)
-    existentials = rule.existential_variables()
-    query_vars = query.variables()
+    return _applicable_classes(
+        unifier,
+        rule.existential_variables(),
+        occurrences,
+        inside_target,
+        set(query.free),
+        query.variables(),
+    )
 
+
+def _applicable_classes(
+    unifier: Unifier,
+    existentials,
+    occurrences: Dict[Variable, int],
+    inside_target: Dict[Variable, int],
+    free: Set[Variable],
+    query_vars,
+) -> bool:
+    """The class-membership core of the applicability condition.
+
+    Factored out so the worklist engine can feed it per-query memoised
+    occurrence maps instead of recomputing them per (rule, atom) pair.
+    """
     for z in existentials:
         for member in unifier.class_of(z):
             if member == z:
@@ -222,28 +291,121 @@ def _protect_free_variables(
             new_atoms.append(Atom("=", (var, image)))
 
 
-def _factorizations(query: ConjunctiveQuery) -> "Iterable[ConjunctiveQuery]":
+def _factorizations(
+    query: ConjunctiveQuery,
+    prefer: "Optional[Tuple[Variable, ...]]" = None,
+) -> "Iterable[ConjunctiveQuery]":
     """All one-step factorisations: unify two same-predicate atoms.
 
     Sound (the result is contained in the original query) and needed to
     unblock rewriting steps whose existential witness occurs in several
-    atoms.
+    atoms.  Atoms are bucketed by (predicate, arity) so only genuinely
+    unifiable pairs are enumerated; *prefer* lets the worklist engine
+    pass its per-query representative order instead of recomputing it.
     """
-    atoms = [a for a in query.atoms if not a.is_equality]
-    prefer = tuple(query.free) + tuple(sorted(query.variables() - set(query.free)))
-    for i in range(len(atoms)):
-        for j in range(i + 1, len(atoms)):
-            left, right = atoms[i], atoms[j]
-            if left.pred != right.pred or left.arity != right.arity:
-                continue
-            unifier = Unifier()
-            if not unifier.unify_atoms(left, right):
-                continue
-            substitution = unifier.substitution(prefer=prefer)
-            merged = [a.substitute(substitution) for a in query.atoms]  # type: ignore[arg-type]
-            _protect_free_variables(query, substitution, merged)
-            yield ConjunctiveQuery(merged, query.free)
+    if prefer is None:
+        prefer = tuple(query.free) + tuple(
+            sorted(query.variables() - set(query.free))
+        )
+    buckets: Dict[Tuple[str, int], List[Atom]] = {}
+    for item in query.atoms:
+        if not item.is_equality:
+            buckets.setdefault((item.pred, item.arity), []).append(item)
+    for bucket in buckets.values():
+        for i in range(len(bucket)):
+            for j in range(i + 1, len(bucket)):
+                unifier = Unifier()
+                if not unifier.unify_atoms(bucket[i], bucket[j]):
+                    continue
+                substitution = unifier.substitution(prefer=prefer)
+                merged = [a.substitute(substitution) for a in query.atoms]  # type: ignore[arg-type]
+                _protect_free_variables(query, substitution, merged)
+                yield ConjunctiveQuery(merged, query.free)
 
+
+# ----------------------------------------------------------------------
+# Prepared rules: memoised rename-apart instances with prefilters
+# ----------------------------------------------------------------------
+
+class _PreparedRule:
+    """One rule, renamed once into the reserved ``_w`` namespace.
+
+    The worklist engine only ever resolves against *canonical* queries
+    (variables named ``f0…``/``v0…``), so a single instance whose
+    variables are ``_w{rule}_{j}`` is disjoint from every query for the
+    whole run — the legacy engine's per-step rename is memoised away.
+    The precomputed head shape powers the applicability prefilter.
+    """
+
+    __slots__ = (
+        "rule",
+        "head",
+        "body",
+        "existentials",
+        "is_existential",
+        "const_positions",
+        "exist_positions",
+    )
+
+    def __init__(self, rule: Rule, index: int):
+        mapping = {
+            var: Variable(f"_w{index}_{j}")
+            for j, var in enumerate(sorted(rule.variables()))
+        }
+        instance = rule.substitute(mapping)
+        self.rule = instance
+        self.head = instance.head_atom
+        self.body = instance.body
+        self.existentials = instance.existential_variables()
+        self.is_existential = bool(self.existentials)
+        self.const_positions: Tuple[Tuple[int, Constant], ...] = tuple(
+            (i, arg)
+            for i, arg in enumerate(self.head.args)
+            if isinstance(arg, Constant)
+        )
+        self.exist_positions: Tuple[int, ...] = tuple(
+            i for i, arg in enumerate(self.head.args) if arg in self.existentials
+        )
+
+    def prefiltered(self, target: Atom, free: Set[Variable]) -> bool:
+        """``True`` iff the resolution is *provably* hopeless, cheaply.
+
+        Sound rejections only: a head constant clashing with a target
+        constant fails unification; a target constant or free variable
+        at an existential head position lands in the existential's
+        unification class and fails the applicability condition.
+        """
+        args = target.args
+        for i, const in self.const_positions:
+            arg = args[i]
+            if isinstance(arg, Constant) and arg != const:
+                return True
+        for i in self.exist_positions:
+            arg = args[i]
+            if isinstance(arg, Constant) or arg in free:
+                return True
+        return False
+
+
+def _prepare_rules(theory: Theory) -> Dict[Tuple[str, int], List[_PreparedRule]]:
+    """The per-(head predicate, arity) dispatch table of prepared rules."""
+    table: Dict[Tuple[str, int], List[_PreparedRule]] = {}
+    for index, rule in enumerate(theory.rules):
+        prepared = _PreparedRule(rule, index)
+        key = (prepared.head.pred, prepared.head.arity)
+        table.setdefault(key, []).append(prepared)
+    return table
+
+
+def _require_single_head(theory: Theory) -> None:
+    for rule in theory.rules:
+        if not rule.is_single_head:
+            raise RuleError(f"rewriting requires single-head rules, got: {rule}")
+
+
+# ----------------------------------------------------------------------
+# The worklist engine
+# ----------------------------------------------------------------------
 
 def rewrite(
     query: ConjunctiveQuery,
@@ -252,7 +414,10 @@ def rewrite(
 ) -> RewritingResult:
     """Compute the UCQ rewriting of *query* under *theory*.
 
-    Requires single-head rules (convert multi-head theories with
+    The indexed worklist engine (see the module docstring); the
+    saturated output is UCQ-equivalent to :func:`legacy_rewrite`'s,
+    which the differential property suite enforces.  Requires
+    single-head rules (convert multi-head theories with
     :mod:`repro.transforms.multihead` first).
 
     Raises
@@ -263,22 +428,40 @@ def rewrite(
         If the theory contains a multi-head rule.
     """
     config = config or RewriteConfig()
-    for rule in theory.rules:
-        if not rule.is_single_head:
-            raise RuleError(f"rewriting requires single-head rules, got: {rule}")
+    _require_single_head(theory)
+    stats = RewriteStats(engine="indexed")
+    run_start = time.perf_counter()
 
     start = normalize_equalities(query)
     if start is None:
-        return RewritingResult(UnionOfConjunctiveQueries([]), True, 0, 0)
+        stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
+        return RewritingResult(
+            UnionOfConjunctiveQueries([]), True, 0, 0, stats=stats
+        )
 
-    seen: Set[ConjunctiveQuery] = {start.canonical()}
+    dispatch = _prepare_rules(theory)
+    stats.rule_instances = len(theory.rules)
+
+    index = SubsumptionIndex()
+    start_marker = start.canonical()
+    seen: Set[ConjunctiveQuery] = {start_marker}
     kept: List[ConjunctiveQuery] = [start]
-    depth_of: Dict[ConjunctiveQuery, int] = {start.canonical(): 0}
-    worklist: List[Tuple[ConjunctiveQuery, int]] = [(start, 0)]
+    index.add(start)
+    depth_of: Dict[ConjunctiveQuery, int] = {start_marker: 0}
+    #: The worklist holds canonical forms: their variables are drawn
+    #: from the reserved ``f*``/``v*`` pools, disjoint from every
+    #: prepared rule instance by construction.  It is a best-first
+    #: min-heap on (atom count, width): the most general disjuncts are
+    #: expanded first, so strong subsumers reach the frontier early and
+    #: the eager pruning bites sooner.
+    tick = 0
+    worklist: List[Tuple[int, int, int, ConjunctiveQuery, int]] = [
+        (len(start_marker.atoms), start_marker.width, tick, start_marker, 0)
+    ]
     steps = 0
     generated = 1
-    counter = 0
     saturated = True
+    stats.kept = 1
 
     def consider(
         candidate: "Optional[ConjunctiveQuery]",
@@ -295,22 +478,227 @@ def rewrite(
         nonlocal generated
         if candidate is None:
             return
+        stats.candidates += 1
         normal = normalize_equalities(candidate)
         if normal is None:
+            stats.unsatisfiable += 1
             return
         marker = normal.canonical()
         if marker in seen:
+            stats.duplicates += 1
             if depth < depth_of.get(marker, depth):
                 depth_of[marker] = depth
             return
         seen.add(marker)
         depth_of[marker] = depth
         generated += 1
-        if prunable and config.eager_subsumption and any(
-            cq_subsumes(existing, normal) for existing in kept
-        ):
-            return
+        if prunable and config.eager_subsumption:
+            probe_start = time.perf_counter()
+            stats.index_probes += 1
+            candidates = index.subsumer_candidates(normal)
+            stats.pairwise_checks_avoided += len(index) - len(candidates)
+            contained = False
+            for existing in candidates:
+                stats.subsumption_checks += 1
+                if cq_subsumes(existing, normal):
+                    contained = True
+                    break
+            stats.subsume_ms += (time.perf_counter() - probe_start) * 1000.0
+            if contained:
+                stats.subsumed += 1
+                # The subsumer covers this query's answers but not
+                # necessarily its *descendants*: factorisation can
+                # merge atoms and unlock an existential rule that is
+                # blocked on the (more general) subsumer.  Keep the
+                # factorisation closure alive so pruning never cuts a
+                # derivation chain — only the pruned query's own
+                # rewrite steps, which the subsumer's do cover.
+                if config.factorize:
+                    for factored in _factorizations(normal):
+                        stats.factor_steps += 1
+                        consider(factored, depth, prunable=True)
+                return
         kept.append(normal)
+        index.add(normal)
+        stats.kept += 1
+        nonlocal tick
+        tick += 1
+        heapq.heappush(
+            worklist, (len(marker.atoms), marker.width, tick, marker, depth)
+        )
+
+    while worklist:
+        if steps >= config.max_steps or len(seen) >= config.max_queries:
+            saturated = False
+            if config.should_raise:
+                raise RewritingBudgetExceeded(
+                    f"rewriting budget exhausted ({steps} steps, "
+                    f"{len(seen)} queries)",
+                    steps=steps,
+                    queries=len(seen),
+                )
+            break
+        _, _, _, current, current_depth = heapq.heappop(worklist)
+
+        phase_start = time.perf_counter()
+        free_set = set(current.free)
+        query_vars = current.variables()
+        prefer = tuple(current.free) + tuple(sorted(query_vars - free_set))
+        occurrences: Dict[Variable, int] = {}
+        for item in current.atoms:
+            for arg in item.args:
+                if isinstance(arg, Variable):
+                    occurrences[arg] = occurrences.get(arg, 0) + 1
+
+        for target in current.atoms:
+            if target.is_equality:
+                continue
+            bucket = dispatch.get((target.pred, target.arity))
+            if not bucket:
+                continue
+            inside_target: Dict[Variable, int] = {}
+            for arg in target.args:
+                if isinstance(arg, Variable):
+                    inside_target[arg] = inside_target.get(arg, 0) + 1
+            for prepared in bucket:
+                if prepared.prefiltered(target, free_set):
+                    stats.prefilter_skips += 1
+                    continue
+                steps += 1
+                stats.rewrite_steps += 1
+                unifier = Unifier()
+                if not unifier.unify_atoms(target, prepared.head):
+                    continue
+                if prepared.is_existential and not _applicable_classes(
+                    unifier,
+                    prepared.existentials,
+                    occurrences,
+                    inside_target,
+                    free_set,
+                    query_vars,
+                ):
+                    continue
+                substitution = unifier.substitution(prefer=prefer)
+                new_atoms = [
+                    item.substitute(substitution)  # type: ignore[arg-type]
+                    for item in current.atoms
+                    if item != target
+                ]
+                new_atoms.extend(
+                    item.substitute(substitution)  # type: ignore[arg-type]
+                    for item in prepared.body
+                )
+                _protect_free_variables(current, substitution, new_atoms)
+                consider(
+                    ConjunctiveQuery(new_atoms, current.free), current_depth + 1
+                )
+        stats.rewrite_ms += (time.perf_counter() - phase_start) * 1000.0
+
+        if config.factorize:
+            phase_start = time.perf_counter()
+            for factored in _factorizations(current, prefer=prefer):
+                steps += 1
+                stats.factor_steps += 1
+                # a match of the factored query is a match of current:
+                # no chase step involved, so the depth does not grow
+                consider(factored, current_depth, prunable=False)
+            stats.factor_ms += (time.perf_counter() - phase_start) * 1000.0
+
+    phase_start = time.perf_counter()
+    final = minimize_indexed(kept, stats)
+    stats.minimize_ms = (time.perf_counter() - phase_start) * 1000.0
+    depth_bound = max(
+        (depth_of.get(disjunct.canonical(), 0) for disjunct in final),
+        default=0,
+    )
+    stats.steps = steps
+    stats.minimized = len(final)
+    stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
+    return RewritingResult(
+        ucq=UnionOfConjunctiveQueries(final),
+        saturated=saturated,
+        steps=steps,
+        generated=generated,
+        depth_bound=depth_bound,
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# The legacy engine (ablation baseline)
+# ----------------------------------------------------------------------
+
+def legacy_rewrite(
+    query: ConjunctiveQuery,
+    theory: Theory,
+    config: "Optional[RewriteConfig]" = None,
+) -> RewritingResult:
+    """The pre-index quadratic loop, kept callable for ablation.
+
+    Rule instances are renamed apart per step and every fresh disjunct
+    is pairwise ``cq_subsumes``-checked against the whole frontier —
+    exactly the baseline ``BENCH_rewrite.json`` and the differential
+    property suite compare the worklist engine against.  Semantics
+    (budgets, exceptions, saturation) match :func:`rewrite`.
+    """
+    config = config or RewriteConfig()
+    _require_single_head(theory)
+    stats = RewriteStats(engine="legacy")
+    run_start = time.perf_counter()
+
+    start = normalize_equalities(query)
+    if start is None:
+        stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
+        return RewritingResult(
+            UnionOfConjunctiveQueries([]), True, 0, 0, stats=stats
+        )
+
+    seen: Set[ConjunctiveQuery] = {start.canonical()}
+    kept: List[ConjunctiveQuery] = [start]
+    depth_of: Dict[ConjunctiveQuery, int] = {start.canonical(): 0}
+    worklist: List[Tuple[ConjunctiveQuery, int]] = [(start, 0)]
+    steps = 0
+    generated = 1
+    counter = 0
+    saturated = True
+    stats.kept = 1
+
+    def consider(
+        candidate: "Optional[ConjunctiveQuery]",
+        depth: int,
+        prunable: bool = True,
+    ) -> None:
+        nonlocal generated
+        if candidate is None:
+            return
+        stats.candidates += 1
+        normal = normalize_equalities(candidate)
+        if normal is None:
+            stats.unsatisfiable += 1
+            return
+        marker = normal.canonical()
+        if marker in seen:
+            stats.duplicates += 1
+            if depth < depth_of.get(marker, depth):
+                depth_of[marker] = depth
+            return
+        seen.add(marker)
+        depth_of[marker] = depth
+        generated += 1
+        if prunable and config.eager_subsumption:
+            stats.subsumption_checks += len(kept)
+            if any(cq_subsumes(existing, normal) for existing in kept):
+                stats.subsumed += 1
+                # see rewrite(): a pruned query's factorisations may
+                # unlock rules its subsumer never reaches — keep the
+                # factorisation closure alive.
+                if config.factorize:
+                    for factored in _factorizations(normal):
+                        stats.factor_steps += 1
+                        consider(factored, depth, prunable=True)
+                return
+        kept.append(normal)
+        stats.kept += 1
         worklist.append((normal, depth))
 
     while worklist:
@@ -334,23 +722,32 @@ def rewrite(
                 counter += 1
                 renamed = _rename_rule_apart(rule, current, counter)
                 steps += 1
+                stats.rewrite_steps += 1
+                stats.rule_instances += 1
                 consider(_rewriting_step(current, target, renamed), current_depth + 1)
         if config.factorize:
             for factored in _factorizations(current):
                 steps += 1
+                stats.factor_steps += 1
                 # a match of the factored query is a match of current:
                 # no chase step involved, so the depth does not grow
                 consider(factored, current_depth, prunable=False)
 
+    phase_start = time.perf_counter()
     final = minimize_ucq(kept)
+    stats.minimize_ms = (time.perf_counter() - phase_start) * 1000.0
     depth_bound = max(
         (depth_of.get(disjunct.canonical(), 0) for disjunct in final),
         default=0,
     )
+    stats.steps = steps
+    stats.minimized = len(final)
+    stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
     return RewritingResult(
         ucq=UnionOfConjunctiveQueries(final),
         saturated=saturated,
         steps=steps,
         generated=generated,
         depth_bound=depth_bound,
+        stats=stats,
     )

@@ -196,12 +196,21 @@ def lemma13_bounded_degree_structure() -> Structure:
 
 #: Binary BDD theories with databases and non-certain queries for the
 #: Theorem-2 corpus (experiment E10): (name, theory, database, query).
-def theorem2_corpus() -> "List[Tuple[str, Theory, Structure, ConjunctiveQuery]]":
+def theorem2_corpus(
+    extended: bool = False,
+) -> "List[Tuple[str, Theory, Structure, ConjunctiveQuery]]":
     """The corpus of (T, D, Q) triples the pipeline is exercised on.
 
     Every theory is binary and BDD (certified by the rewriting engine
     in the tests); every query is *not* certain, so Theorem 2 promises
     a finite counter-model.
+
+    With ``extended=True`` the corpus additionally carries the
+    rewriting stress entry ``linear-mix/P5-cycle-stress``: an 18-rule
+    random linear theory whose 4-cycle query saturates only after a
+    600+-disjunct frontier.  It satisfies every corpus invariant but
+    is far too heavy for the per-entry pipeline tests, so only the
+    rewriting benchmarks (``BENCH_rewrite.json``) opt in.
     """
     corpus: List[Tuple[str, Theory, Structure, ConjunctiveQuery]] = []
     corpus.append(
@@ -249,4 +258,23 @@ def theorem2_corpus() -> "List[Tuple[str, Theory, Structure, ConjunctiveQuery]]"
             parse_query("E(x,y), E(y,x)"),
         )
     )
+    if extended:
+        from .generators import random_linear_theory
+        from ..lf.terms import Variable
+
+        cycle = [Variable(f"x{i}") for i in range(4)]
+        corpus.append(
+            (
+                "linear-mix/P5-cycle-stress",
+                random_linear_theory(predicates=5, rules=18, seed=2),
+                parse_structure("P0(a,b)"),
+                ConjunctiveQuery(
+                    [
+                        atom(f"P{i % 5}", cycle[i], cycle[(i + 1) % 4])
+                        for i in range(4)
+                    ],
+                    [cycle[0]],
+                ),
+            )
+        )
     return corpus

@@ -94,3 +94,34 @@ def theories(draw, max_rules=3):
     """A small single-head theory."""
     pool = draw(st.lists(safe_rules(), min_size=1, max_size=max_rules))
     return Theory(pool)
+
+
+@st.composite
+def linear_rules(draw):
+    """A linear (single-body-atom) rule — linear TGDs are BDD, so
+    theories built from these are guaranteed rewritable and the UCQ
+    rewriting saturates (given enough budget)."""
+    x, y, fresh = Variable("x"), Variable("y"), Variable("zFresh")
+    if draw(st.booleans()):
+        body = Atom(draw(binary_preds), (x, y))
+        frontier = draw(st.sampled_from([x, y]))
+    else:
+        body = Atom(draw(unary_preds), (x,))
+        frontier = x
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 0:
+        head = Atom(draw(binary_preds), (frontier, fresh))
+    elif shape == 1:
+        head = Atom(draw(binary_preds), (frontier, frontier))
+    elif shape == 2 and body.arity == 2:
+        head = Atom(draw(binary_preds), (y, x))
+    else:
+        head = Atom(draw(unary_preds), (frontier,))
+    return Rule((body,), (head,))
+
+
+@st.composite
+def bdd_theories(draw, max_rules=4):
+    """A small linear theory — BDD by construction."""
+    pool = draw(st.lists(linear_rules(), min_size=1, max_size=max_rules))
+    return Theory(pool)

@@ -1,0 +1,158 @@
+"""Differential battery: the indexed worklist engine vs ``legacy_rewrite``.
+
+The indexed engine (best-first worklist, subsumption index, memoised
+rule instances) must be *semantically equivalent* to the quadratic
+baseline on every workload where both saturate:
+
+* with ``eager_subsumption=False`` the two closures are exactly the
+  rewriting closure — order-independent, so the minimised outputs are
+  equivalent *and* have the same number of equivalence classes;
+* with eager pruning on, the engines may explore different subsets of
+  the closure, but the answers they keep must still be UCQ-equivalent
+  (the prune-but-factorise recovery in both engines is what makes
+  this hold — see ``test_eager_matches_exact``);
+* the output is invariant under the metamorphic transformations the
+  semantics cannot see: atom reordering, variable renaming, and rule
+  reordering.
+
+Budgets are tiny and ``OnBudget.RETURN`` turns exhaustion into
+``saturated=False``, which we ``assume`` away: parity claims only bind
+saturated runs (a truncated frontier is order-dependent by nature).
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import OnBudget
+from repro.lf import (
+    ConjunctiveQuery,
+    Theory,
+    UnionOfConjunctiveQueries,
+    Variable,
+)
+from repro.rewriting import (
+    RewriteConfig,
+    clear_subsume_cache,
+    legacy_rewrite,
+    rewrite,
+    ucq_equivalent,
+    ucq_subsumes,
+)
+
+from .strategies import bdd_theories, open_conjunctive_queries, theories
+
+#: Small budgets; RETURN makes exhaustion visible as saturated=False.
+BUDGET = dict(max_steps=800, max_queries=150, on_budget=OnBudget.RETURN)
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+#: Every switch permutation the two engines share.
+CONFIGS = [
+    pytest.param(dict(factorize=f, eager_subsumption=e),
+                 id=f"factorize={f}-eager={e}")
+    for f in (True, False)
+    for e in (True, False)
+]
+
+
+def run_both(query, theory, **overrides):
+    config = RewriteConfig(**BUDGET, **overrides)
+    clear_subsume_cache()
+    new = rewrite(query, theory, config=config)
+    clear_subsume_cache()
+    old = legacy_rewrite(query, theory, config=config)
+    return new, old
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("switches", CONFIGS)
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3))
+    def test_bdd_theories_agree(self, switches, theory, query):
+        new, old = run_both(query, theory, **switches)
+        assume(new.saturated and old.saturated)
+        assert ucq_equivalent(new.ucq, old.ucq)
+
+    @pytest.mark.parametrize("switches", CONFIGS)
+    @RELAXED
+    @given(theory=theories(), query=open_conjunctive_queries(max_atoms=3))
+    def test_general_theories_agree(self, switches, theory, query):
+        # safe_rules() theories are not necessarily BDD; parity must
+        # still hold whenever both engines happen to saturate in budget
+        new, old = run_both(query, theory, **switches)
+        assume(new.saturated and old.saturated)
+        assert ucq_equivalent(new.ucq, old.ucq)
+
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3))
+    def test_exact_mode_closures_are_canonical(self, theory, query):
+        # with eager pruning off both engines enumerate the *whole*
+        # rewriting closure, so minimisation sees the same equivalence
+        # classes: the outputs match in count, not just semantically
+        new, old = run_both(query, theory, eager_subsumption=False)
+        assume(new.saturated and old.saturated)
+        assert ucq_equivalent(new.ucq, old.ucq)
+        assert len(new.ucq) == len(old.ucq)
+
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3))
+    def test_eager_matches_exact(self, theory, query):
+        # eager pruning must not lose answers: prune-but-factorise
+        # keeps the factorisation closure of every pruned disjunct
+        # alive, so the pruned run stays equivalent to the full closure
+        eager, _ = run_both(query, theory, eager_subsumption=True)
+        exact, _ = run_both(query, theory, eager_subsumption=False)
+        assume(eager.saturated and exact.saturated)
+        assert ucq_subsumes(exact.ucq, eager.ucq)
+        assert ucq_equivalent(eager.ucq, exact.ucq)
+
+
+def _rewrite_default(query, theory):
+    clear_subsume_cache()
+    return rewrite(query, theory, config=RewriteConfig(**BUDGET))
+
+
+class TestMetamorphic:
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3),
+           data=st.data())
+    def test_atom_order_is_irrelevant(self, theory, query, data):
+        shuffled_atoms = data.draw(st.permutations(list(query.atoms)))
+        shuffled = ConjunctiveQuery(shuffled_atoms, query.free)
+        base = _rewrite_default(query, theory)
+        other = _rewrite_default(shuffled, theory)
+        assume(base.saturated and other.saturated)
+        assert ucq_equivalent(base.ucq, other.ucq)
+
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3))
+    def test_variable_renaming_is_irrelevant(self, theory, query):
+        pool = sorted({v for a in query.atoms for v in a.variable_set()})
+        renaming = {v: Variable(f"fresh_{i}") for i, v in enumerate(pool)}
+        renamed = query.substitute(renaming)
+        base = _rewrite_default(query, theory)
+        other = _rewrite_default(renamed, theory)
+        assume(base.saturated and other.saturated)
+        # answers of the renamed query come back over the renamed free
+        # tuple; rename them back before comparing
+        undo = {renaming[v]: v for v in query.free}
+        restored = UnionOfConjunctiveQueries(
+            d.substitute(undo) for d in other.ucq
+        )
+        assert ucq_equivalent(base.ucq, restored)
+
+    @RELAXED
+    @given(theory=bdd_theories(), query=open_conjunctive_queries(max_atoms=3),
+           data=st.data())
+    def test_rule_order_is_irrelevant(self, theory, query, data):
+        shuffled_rules = data.draw(st.permutations(list(theory.rules)))
+        shuffled = Theory(shuffled_rules)
+        base = _rewrite_default(query, theory)
+        other = _rewrite_default(query, shuffled)
+        assume(base.saturated and other.saturated)
+        assert ucq_equivalent(base.ucq, other.ucq)

@@ -1,0 +1,144 @@
+"""Unit tests for the subsumption index behind the worklist engine.
+
+The index never decides containment — it only *filters*: every filter
+must be a necessary condition for ``cq_subsumes``, so a candidate list
+missing a true subsumer would be a soundness bug in the engine.  The
+tests here pin the filter semantics (signatures, constant sets, link
+sets) and the indexed final minimisation against the quadratic
+reference sweep.
+"""
+
+import pytest
+
+from repro.lf import ConjunctiveQuery, Constant, Variable, atom, parse_query
+from repro.rewriting import SubsumptionIndex, cq_subsumes, minimize_ucq, signature_of
+from repro.rewriting.index import (
+    available_links,
+    minimize_indexed,
+    required_links,
+)
+
+
+class TestSignatures:
+    def test_signature_components(self):
+        query = parse_query("R(x,u)", free=["x", "u"])
+        assert signature_of(query) == (2, 2, (("R", 1),))
+
+    def test_signature_counts_predicate_multiplicity(self):
+        query = parse_query("E(x,y), E(y,z), R(z,x)")
+        assert signature_of(query) == (0, 3, (("E", 2), ("R", 1)))
+
+    def test_equality_atoms_are_invisible(self):
+        plain = parse_query("E(x,y)", free=["x"])
+        with_eq = ConjunctiveQuery(
+            list(plain.atoms) + [atom("=", Variable("x"), Constant("a"))],
+            plain.free,
+        )
+        assert signature_of(with_eq)[2] == signature_of(plain)[2]
+
+    def test_empty_query_signature(self):
+        assert signature_of(ConjunctiveQuery([], ())) == (0, 0, ())
+
+
+class TestLinks:
+    def test_join_produces_a_link(self):
+        query = parse_query("E(x,y), R(y,z)", free=["x"])
+        assert required_links(query) == frozenset({(("E", 1), ("R", 0))})
+
+    def test_same_slot_repetition_is_no_link(self):
+        # y occupies ("E", 1) in both atoms: one distinct slot, no pair
+        query = parse_query("E(x,y), E(u,y)", free=["x", "u"])
+        assert required_links(query) == frozenset()
+
+    def test_available_links_mirror_canonical_database(self):
+        specific = parse_query("E(a,b), R(b,c)")
+        assert (("E", 1), ("R", 0)) in available_links(specific)
+
+    def test_link_filter_is_necessary(self):
+        # general joins E into R; a specific query whose canonical DB
+        # has no such join cannot be subsumed by it
+        general = parse_query("E(x,y), R(y,z)", free=["x"])
+        unlinked = parse_query("E(x,y), R(u,z)", free=["x"])
+        assert required_links(general) <= available_links(
+            parse_query("E(x,y), R(y,z)", free=["x"]))
+        assert not required_links(general) <= available_links(unlinked)
+        assert not cq_subsumes(general, unlinked)
+
+
+class TestSubsumerCandidates:
+    def test_candidates_are_sound(self):
+        # every true subsumer must appear among the candidates
+        index = SubsumptionIndex()
+        kept = [
+            parse_query("E(x,y)", free=["x"]),
+            parse_query("E(x,y), E(y,z)", free=["x"]),
+            parse_query("R(x,y)", free=["x"]),
+        ]
+        for query in kept:
+            index.add(query)
+        probe = parse_query("E(x,y), E(y,z), E(z,w)", free=["x"])
+        candidates = list(index.subsumer_candidates(probe))
+        for query in kept:
+            if cq_subsumes(query, probe):
+                assert query in candidates
+
+    def test_constant_filter_prunes(self):
+        index = SubsumptionIndex()
+        with_const = ConjunctiveQuery(
+            [atom("E", Constant("a"), Variable("x"))], (Variable("x"),))
+        index.add(with_const)
+        constant_free = parse_query("E(u,x)", free=["x"])
+        # a subsumer mentioning 'a' can never map into a canonical DB
+        # without it — the index must not even propose it
+        assert with_const not in list(index.subsumer_candidates(constant_free))
+        assert not cq_subsumes(with_const, constant_free)
+
+    def test_empty_query_subsumes_any_boolean(self):
+        index = SubsumptionIndex()
+        empty = ConjunctiveQuery([], ())
+        index.add(empty)
+        probe = parse_query("E(x,y)")
+        assert empty in list(index.subsumer_candidates(probe))
+        assert cq_subsumes(empty, probe)
+
+
+class TestMinimizeIndexed:
+    def test_matches_reference_on_duplicates_modulo_renaming(self):
+        d1 = parse_query("E(x,y)", free=["x"])
+        d2 = parse_query("E(u,w)", free=["u"])
+        assert [str(q) for q in minimize_indexed([d1, d2])] == [
+            str(q) for q in minimize_ucq([d1, d2])]
+
+    def test_matches_reference_on_dominance_chain(self):
+        chain = [
+            parse_query("E(x,y)", free=["x"]),
+            parse_query("E(x,y), E(y,z)", free=["x"]),
+            parse_query("E(x,y), E(y,z), E(z,w)", free=["x"]),
+        ]
+        assert [str(q) for q in minimize_indexed(chain)] == [
+            str(q) for q in minimize_ucq(chain)]
+        assert len(minimize_indexed(chain)) == 1
+
+    def test_matches_reference_on_incomparable_family(self):
+        def marked(k):
+            vs = [Variable(f"v{i}") for i in range(k + 1)]
+            atoms = [atom("E", vs[i], vs[i + 1]) for i in range(k)]
+            atoms += [atom("U", vs[0]), atom("V", vs[k])]
+            return ConjunctiveQuery(atoms, (vs[0],))
+
+        family = [marked(k) for k in range(1, 8)]
+        assert [str(q) for q in minimize_indexed(family)] == [
+            str(q) for q in minimize_ucq(family)]
+        assert len(minimize_indexed(family)) == 7
+
+    def test_empty_disjunct_dominates(self):
+        empty = ConjunctiveQuery([], ())
+        others = [parse_query("E(x,y)"), parse_query("R(x,y), R(y,z)")]
+        result = minimize_indexed([empty] + others)
+        assert [str(q) for q in result] == ["true"]
+        assert [str(q) for q in minimize_ucq([empty] + others)] == ["true"]
+
+    def test_mixed_arities_never_merge(self):
+        boolean = parse_query("E(x,y)")
+        unary = parse_query("E(x,y)", free=["x"])
+        assert len(minimize_indexed([boolean, unary])) == 2

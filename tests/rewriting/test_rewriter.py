@@ -213,3 +213,48 @@ class TestRewritingSemantics:
             canonical, _ = freeze(normal)
             verdict = certain_boolean(canonical, EXAMPLE7, query, max_depth=8)
             assert verdict is True
+
+
+class TestEmptyRewritingResult:
+    """The empty rewriting (``false``) and hand-built results must not
+    crash the result surface — κ aggregation and ``__str__`` touch
+    ``max_width`` on every run."""
+
+    UNSAT = None  # built lazily: an E-atom plus a ground contradiction
+
+    @classmethod
+    def unsat_query(cls):
+        from repro.lf import ConjunctiveQuery, Constant
+
+        return ConjunctiveQuery(
+            [atom("E", Variable("x"), Variable("y")),
+             atom("=", Constant("a"), Constant("b"))],
+            (),
+        )
+
+    def test_unsatisfiable_query_rewrites_to_empty(self):
+        from repro.rewriting import legacy_rewrite
+
+        for engine in (rewrite, legacy_rewrite):
+            result = engine(self.unsat_query(), Theory([]))
+            assert result.saturated
+            assert len(result.ucq) == 0
+            assert result.max_width == 0
+            assert "0 disjuncts" in str(result)
+
+    def test_hand_built_empty_union(self):
+        from repro.lf import UnionOfConjunctiveQueries
+        from repro.rewriting import RewritingResult
+
+        result = RewritingResult(
+            UnionOfConjunctiveQueries([]), saturated=True, steps=0, generated=0)
+        assert result.max_width == 0
+        assert "max width 0" in str(result)
+
+    def test_hand_built_none_union(self):
+        from repro.rewriting import RewritingResult
+
+        result = RewritingResult(None, saturated=False, steps=3, generated=1)
+        assert result.max_width == 0
+        assert "budget-exhausted" in str(result)
+        assert "0 disjuncts" in str(result)

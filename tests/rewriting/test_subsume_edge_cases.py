@@ -1,0 +1,122 @@
+"""Edge cases of the containment layer the engines lean on.
+
+Each of these is a shape the worklist engine actually produces
+(equality-laden disjuncts, constants in answer positions, the empty
+query as the ``true`` rewriting) — a regression here silently corrupts
+rewritings rather than crashing.
+"""
+
+from repro.lf import ConjunctiveQuery, Constant, Variable, atom, parse_query
+from repro.rewriting import (
+    cq_subsumes,
+    minimize_ucq,
+    normalize_equalities,
+    ucq_equivalent,
+)
+
+
+class TestNormalizeEqualities:
+    def test_ground_inconsistency_returns_none(self):
+        query = ConjunctiveQuery(
+            [atom("E", Variable("x"), Variable("y")),
+             atom("=", Constant("a"), Constant("b"))],
+            (),
+        )
+        assert normalize_equalities(query) is None
+
+    def test_trivial_ground_equality_is_dropped(self):
+        query = ConjunctiveQuery(
+            [atom("E", Variable("x"), Variable("y")),
+             atom("=", Constant("a"), Constant("a"))],
+            (),
+        )
+        normal = normalize_equalities(query)
+        assert normal is not None
+        assert not any(a.is_equality for a in normal.atoms)
+
+    def test_existential_equality_is_substituted_away(self):
+        query = ConjunctiveQuery(
+            [atom("E", Variable("x"), Variable("y")),
+             atom("=", Variable("y"), Constant("a"))],
+            (Variable("x"),),
+        )
+        normal = normalize_equalities(query)
+        assert str(normal) == "(x) <- E(x, a)"
+
+    def test_free_equality_keeps_the_anchor(self):
+        # the free tuple must survive: the equality atom stays so x
+        # still occurs even after the substitution into E
+        query = ConjunctiveQuery(
+            [atom("E", Variable("x"), Variable("y")),
+             atom("=", Variable("x"), Constant("a"))],
+            (Variable("x"),),
+        )
+        normal = normalize_equalities(query)
+        assert normal.free == (Variable("x"),)
+        assert any(a.is_equality for a in normal.atoms)
+        assert atom("E", Constant("a"), Variable("y")) in normal.atoms
+
+
+class TestConstantsInFreePositions:
+    def test_variable_generalizes_constant(self):
+        const = ConjunctiveQuery(
+            [atom("E", Constant("a"), Variable("x"))], (Variable("x"),))
+        general = ConjunctiveQuery(
+            [atom("E", Variable("u"), Variable("x"))], (Variable("x"),))
+        assert cq_subsumes(general, const)
+        assert not cq_subsumes(const, general)
+
+    def test_minimize_keeps_only_the_general_form(self):
+        const = ConjunctiveQuery(
+            [atom("E", Constant("a"), Variable("x"))], (Variable("x"),))
+        general = ConjunctiveQuery(
+            [atom("E", Variable("u"), Variable("x"))], (Variable("x"),))
+        assert [str(q) for q in minimize_ucq([const, general])] == [
+            "(x) <- E(u, x)"]
+
+    def test_distinct_constants_are_incomparable(self):
+        qa = ConjunctiveQuery(
+            [atom("E", Constant("a"), Variable("x"))], (Variable("x"),))
+        qb = ConjunctiveQuery(
+            [atom("E", Constant("b"), Variable("x"))], (Variable("x"),))
+        assert not cq_subsumes(qa, qb)
+        assert not cq_subsumes(qb, qa)
+        assert len(minimize_ucq([qa, qb])) == 2
+
+
+class TestZeroAtomQueries:
+    def test_empty_query_subsumes_every_boolean(self):
+        empty = ConjunctiveQuery([], ())
+        assert cq_subsumes(empty, parse_query("E(x,y)"))
+        assert not cq_subsumes(parse_query("E(x,y)"), empty)
+
+    def test_arity_mismatch_blocks_subsumption(self):
+        # 'true' does not answer an open query: free arities differ
+        empty = ConjunctiveQuery([], ())
+        open_query = parse_query("R(x,u)", free=["x", "u"])
+        assert not cq_subsumes(empty, open_query)
+        assert not cq_subsumes(open_query, empty)
+        assert len(minimize_ucq([empty, open_query])) == 2
+
+    def test_empty_query_collapses_boolean_unions(self):
+        empty = ConjunctiveQuery([], ())
+        disjuncts = [empty, parse_query("E(x,y)"), parse_query("R(x,y), R(y,z)")]
+        assert [str(q) for q in minimize_ucq(disjuncts)] == ["true"]
+
+
+class TestDuplicatesModuloRenaming:
+    def test_alpha_variants_collapse(self):
+        d1 = parse_query("E(x,y)", free=["x"])
+        d2 = parse_query("E(u,w)", free=["u"])
+        kept = minimize_ucq([d1, d2])
+        assert len(kept) == 1
+        assert str(kept[0]) == "(u) <- E(u, w)"
+
+    def test_collapsed_union_stays_equivalent(self):
+        from repro.lf import UnionOfConjunctiveQueries
+
+        d1 = parse_query("E(x,y), E(y,z)", free=["x"])
+        d2 = parse_query("E(u,w), E(w,v)", free=["u"])
+        before = UnionOfConjunctiveQueries([d1, d2])
+        after = UnionOfConjunctiveQueries(minimize_ucq([d1, d2]))
+        assert ucq_equivalent(before, after)

@@ -109,6 +109,38 @@ class TestRewrite:
         assert code == 1
         assert "error" in err
 
+    def test_stats_lines(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)", "--free", "x,u",
+            "--stats"
+        )
+        assert code == 0
+        assert "# stats: engine=indexed" in out
+        assert "# candidates:" in out
+        assert "# index:" in out
+
+    def test_legacy_engine(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)", "--free", "x,u",
+            "--legacy", "--stats"
+        )
+        assert code == 0
+        assert "saturated: 3 disjuncts" in out
+        assert "# stats: engine=legacy" in out
+
+    def test_legacy_agrees_with_indexed(self, capsys):
+        # disjunct variable *names* differ between engines; the header
+        # line (disjunct count, width, depth bound) must not
+        code_new, out_new, _ = run(
+            capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)", "--free", "x,u"
+        )
+        code_old, out_old, _ = run(
+            capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)", "--free", "x,u",
+            "--legacy"
+        )
+        assert code_new == code_old == 0
+        assert out_new.splitlines()[0] == out_old.splitlines()[0]
+
 
 class TestClassify:
     def test_profile(self, capsys):

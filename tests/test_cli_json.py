@@ -12,6 +12,7 @@ import pytest
 
 from repro.chase.stats import TIMING_FIELDS
 from repro.fc import SEARCH_TIMING_FIELDS
+from repro.rewriting import REWRITE_TIMING_FIELDS
 from repro.cli import (
     EXIT_ERROR,
     EXIT_INCOMPLETE,
@@ -33,7 +34,11 @@ def run_json(capsys, *argv):
     return code, json.loads(lines[0])
 
 
-NONDETERMINISTIC = frozenset(TIMING_FIELDS) | frozenset(SEARCH_TIMING_FIELDS)
+NONDETERMINISTIC = (
+    frozenset(TIMING_FIELDS)
+    | frozenset(SEARCH_TIMING_FIELDS)
+    | frozenset(REWRITE_TIMING_FIELDS)
+)
 
 
 def strip_timings(payload):
@@ -90,6 +95,36 @@ class TestJsonShape:
         assert len(stats["rounds"]) == 3
         assert stats["totals"]["triggers_evaluated"] >= 3
         assert payload["facts"] == sorted(payload["facts"])
+
+    def test_rewrite_payload_carries_stats(self, capsys):
+        code, payload = run_json(capsys, "-e", "rewrite", EXAMPLE7,
+                                 "R(x,u)", "--free", "x,u", "--json")
+        assert code == EXIT_OK
+        stats = payload["stats"]
+        assert stats["engine"] == "indexed"
+        assert stats["kept"] >= stats["minimized"] == payload["counts"]["disjuncts"]
+        assert stats["candidates"] >= stats["subsumed"] + stats["duplicates"]
+        for field in REWRITE_TIMING_FIELDS:
+            assert field in stats
+
+    def test_rewrite_legacy_payload(self, capsys):
+        code, payload = run_json(capsys, "-e", "rewrite", EXAMPLE7,
+                                 "R(x,u)", "--free", "x,u", "--legacy",
+                                 "--json")
+        assert code == EXIT_OK
+        assert payload["stats"]["engine"] == "legacy"
+        assert payload["counts"]["disjuncts"] == 3
+
+    def test_rewrite_engines_agree_modulo_naming(self, capsys):
+        _, new = run_json(capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)",
+                          "--free", "x,u", "--json")
+        _, old = run_json(capsys, "-e", "rewrite", EXAMPLE7, "R(x,u)",
+                          "--free", "x,u", "--legacy", "--json")
+        # step counts legitimately differ (the indexed engine's
+        # prefilter skips hopeless rule applications before they count)
+        for key in ("disjuncts", "max_width", "depth_bound"):
+            assert new["counts"][key] == old["counts"][key]
+        assert new["status"] == old["status"]
 
     def test_certain_unknown_maps_to_exit_2(self, capsys):
         code, payload = run_json(capsys, "-e", "certain", LINEAR, DB,
