@@ -34,6 +34,15 @@ cache cleared in between; outputs are checked UCQ-equivalent whenever
 both saturate, so the candidate-throughput ratio (the acceptance bar:
 >= 3x on the corpus stage) compares identical semantic work.
 
+It also writes ``BENCH_guard.json``: the runtime-guard overhead
+ablation.  Each workload (the recursive-chain chase and the Section
+5.5 exhaustive search) runs once with an *active* guard — huge,
+never-tripping ``wall_ms``/``max_rss_mb`` budgets, so every checkpoint
+pays the real deadline/RSS bookkeeping — and once with
+``guards_disabled=True`` (the shared NULL_GUARD).  The acceptance bar
+is a median overhead of at most 2% (``bar_pct`` in the payload);
+results must be identical between the modes.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
@@ -92,6 +101,13 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chase.json"
 HOM_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hom.json"
 FC_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fc.json"
 REWRITE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_rewrite.json"
+GUARD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_guard.json"
+
+#: Never-tripping guard budgets: the guard is active (every checkpoint
+#: pays the deadline check and the periodic RSS poll) but cannot stop
+#: the run, so the guarded/unguarded gap is pure bookkeeping overhead.
+GUARD_ON = {"wall_ms": 3_600_000.0, "max_rss_mb": 1_000_000.0}
+GUARD_OVERHEAD_BAR_PCT = 2.0
 
 
 def timed(fn, repeat):
@@ -398,6 +414,67 @@ def rewrite_entries(full, repeat):
     return entries, speedups
 
 
+def guard_entries(full, repeat):
+    """The BENCH_guard ablation: (entries, overheads).
+
+    Each workload runs guarded (active guard, never-tripping budgets)
+    and unguarded (``guards_disabled=True``); the overhead percentage
+    is the guarded/unguarded wall ratio minus one.  Work counters must
+    be identical — the guard may cost time, never change results.
+    """
+    entries = []
+    overheads = {}
+
+    def contrast(workload, key, run, checksum):
+        per_mode = {}
+        for mode, overrides in (
+            ("guarded", GUARD_ON),
+            ("unguarded", {"guards_disabled": True}),
+        ):
+            wall, result = timed(lambda: run(**overrides), repeat)
+            per_mode[mode] = (wall, checksum(result))
+            entries.append({
+                "workload": workload,
+                "mode": mode,
+                "wall_s": round(wall, 6),
+                "checksum": checksum(result),
+            })
+        (guarded_wall, guarded_sum), (plain_wall, plain_sum) = (
+            per_mode["guarded"], per_mode["unguarded"])
+        assert guarded_sum == plain_sum, (workload, guarded_sum, plain_sum)
+        overheads[key] = round(
+            (guarded_wall / max(plain_wall, 1e-9) - 1.0) * 100.0, 2)
+
+    # The recursive-chain chase of BENCH_chase: checkpoints per round,
+    # per rule, and per 1024-trigger batch.
+    depth = 40 if full else 20
+    growth_theory = chain_growth_theory(3)
+    growth_db = random_edges_database(4, 6, predicates=("P0",), seed=7)
+    contrast(
+        f"chase-recursive-chain-d{depth}", "chase",
+        lambda **overrides: chase(
+            growth_db, growth_theory,
+            ChaseConfig(max_depth=depth, **overrides),
+        ),
+        lambda result: (result.depth, len(result.structure)),
+    )
+
+    # The Section 5.5 exhaustive search of BENCH_fc: one checkpoint per
+    # node expansion.
+    me = 12 if full else 10
+    contrast(
+        f"fc-s55-exhaustive-me{me}", "fc_search",
+        lambda **overrides: search_finite_model(
+            section55_database(), section55_theory(),
+            forbidden=section55_query(),
+            config=SearchConfig(max_elements=me, **overrides),
+        ),
+        lambda result: (result.found, result.stats.nodes),
+    )
+
+    return entries, overheads
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -408,6 +485,7 @@ def main(argv=None):
     parser.add_argument("--hom-output", type=Path, default=HOM_OUTPUT)
     parser.add_argument("--fc-output", type=Path, default=FC_OUTPUT)
     parser.add_argument("--rewrite-output", type=Path, default=REWRITE_OUTPUT)
+    parser.add_argument("--guard-output", type=Path, default=GUARD_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -523,6 +601,25 @@ def main(argv=None):
         print(f"legacy/indexed speedup, {name}: wall {ratios['wall']}x, "
               f"candidates/s {ratios['candidates_per_s']}x")
     print(f"wrote {args.rewrite_output}")
+
+    guard_entry_list, guard_overheads = guard_entries(args.full, args.repeat)
+    guard_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "bar_pct": GUARD_OVERHEAD_BAR_PCT,
+        "entries": guard_entry_list,
+        "overhead_pct": guard_overheads,
+    }
+    args.guard_output.write_text(
+        json.dumps(guard_payload, indent=2, sort_keys=True) + "\n")
+    for entry in guard_entry_list:
+        print(f"{entry['workload']:>34} {entry['mode']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  "
+              f"checksum={entry['checksum']}")
+    for name, pct in guard_overheads.items():
+        print(f"guard overhead, {name}: {pct}% "
+              f"(bar: {GUARD_OVERHEAD_BAR_PCT}%)")
+    print(f"wrote {args.guard_output}")
     return 0
 
 

@@ -57,6 +57,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..config import BudgetedConfig, OnBudget, coerce_enum
 from ..errors import ChaseBudgetExceeded, NewElementEmbargoViolation
+from ..runtime.guard import NULL_GUARD, GuardTripped, RuntimeGuard, StopReason
 from ..lf.atoms import Atom
 from ..lf.homomorphism import find_homomorphism, homomorphisms
 from ..lf.plan import HOM_STATS
@@ -199,6 +200,11 @@ def _canonical_key_order(key: tuple) -> "Tuple[str, ...]":
 #: A trigger demanding a witness: (rule index, rule, body binding).
 _Demand = Tuple[int, Rule, Dict[Variable, Element]]
 
+#: Within one trigger batch (one rule's bindings), how many triggers
+#: pass between two guard checkpoints — bounds how long a single
+#: enormous rule body can overshoot a deadline.
+_TRIGGER_CHECK_INTERVAL = 1024
+
 
 def _evaluate_round(
     structure: Structure,
@@ -209,6 +215,7 @@ def _evaluate_round(
     provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]",
     delta: "Optional[Sequence[Atom]]",
     stats: RoundStats,
+    guard: RuntimeGuard = NULL_GUARD,
 ) -> Tuple[List[Atom], List[Null]]:
     """One parallel round (``Chase^1``) against the round-start state.
 
@@ -223,6 +230,13 @@ def _evaluate_round(
     as witness *demands*.  Phase 2 assigns fresh nulls per demand key
     in a canonical key order — making null identities (and hence the
     whole run) independent of enumeration order and strategy.
+
+    The *guard* is checkpointed per trigger batch (each rule's
+    enumeration, plus every :data:`_TRIGGER_CHECK_INTERVAL` triggers
+    within one batch); a trip raises
+    :class:`~repro.runtime.GuardTripped` *before* any buffered fact is
+    inserted, so the caller's structure still holds exactly the last
+    completed round.
     """
     produced: List[Atom] = []
     produced_set: Set[Atom] = set()
@@ -238,6 +252,7 @@ def _evaluate_round(
             provenance[fact] = (rule_index, premises)
 
     for rule_index, rule in enumerate(theory.rules):
+        guard.checkpoint()
         if delta is None:
             bindings: "Iterator[Dict[Variable, Element]]" = homomorphisms(
                 rule.body, structure
@@ -246,6 +261,8 @@ def _evaluate_round(
             bindings = _delta_bindings(rule, structure, delta)
         for binding in bindings:
             stats.triggers_evaluated += 1
+            if stats.triggers_evaluated % _TRIGGER_CHECK_INTERVAL == 0:
+                guard.checkpoint()
             if rule.is_datalog:
                 fired = False
                 for head in rule.head:
@@ -386,13 +403,26 @@ def chase(
     strategy = config.effective_strategy
     stats = ChaseStats(strategy=strategy.value)
     hom_before = HOM_STATS.snapshot()
+    guard = RuntimeGuard.from_config(config, "chase")
     depth = 0
     saturated = False
+    stopped_reason = StopReason.BUDGET
     # None = full enumeration: always for naive, and for delta's first
     # round (where the whole database is the delta).
     delta: "Optional[List[Atom]]" = None
 
+    def guard_stop(reason: StopReason) -> StopReason:
+        """Finalise stats and apply the on_budget policy for *reason*."""
+        stats.hom = HOM_STATS.since(hom_before)
+        if config.should_raise:
+            raise guard.exception(reason, stats=stats)
+        return reason
+
     while True:
+        reason = guard.check()
+        if reason is not None:
+            stopped_reason = guard_stop(reason)
+            break
         if config.max_depth is not None and depth >= config.max_depth:
             break
         round_stats = RoundStats(
@@ -401,14 +431,27 @@ def chase(
         )
         probes_before = working.index_probes
         started = time.perf_counter()
-        produced, invented = _evaluate_round(
-            working, theory, nulls, depth + 1, config, provenance, delta, round_stats
-        )
+        try:
+            produced, invented = _evaluate_round(
+                working, theory, nulls, depth + 1, config, provenance, delta,
+                round_stats, guard,
+            )
+        except GuardTripped as trip:
+            # The aborted round inserted nothing (insertions are
+            # buffered until enumeration completes): the structure is
+            # exactly the last completed round.  Record the partial
+            # round's counters so the stop is visible in the stats.
+            round_stats.wall_ms = (time.perf_counter() - started) * 1000.0
+            round_stats.index_probes = working.index_probes - probes_before
+            stats.rounds.append(round_stats)
+            stopped_reason = guard_stop(trip.reason)
+            break
         round_stats.wall_ms = (time.perf_counter() - started) * 1000.0
         round_stats.index_probes = working.index_probes - probes_before
         stats.rounds.append(round_stats)
         if not produced and not invented:
             saturated = True
+            stopped_reason = StopReason.FIXPOINT
             break
         depth += 1
         rounds_fired.append(len(produced))
@@ -422,10 +465,12 @@ def chase(
         )
         if over_facts or over_elements:
             if config.should_raise:
+                stats.hom = HOM_STATS.since(hom_before)
                 raise ChaseBudgetExceeded(
                     f"chase exceeded budget at depth {depth}",
                     depth=depth,
                     facts=len(working),
+                    stats=stats,
                 )
             break
 
@@ -439,6 +484,7 @@ def chase(
         rounds_fired=rounds_fired,
         provenance=provenance,
         stats=stats,
+        stopped_reason=stopped_reason,
     )
 
 
@@ -447,19 +493,24 @@ def datalog_saturate(
     theory: Theory,
     max_depth: "Optional[int]" = None,
     max_facts: "Optional[int]" = 500_000,
+    **overrides,
 ) -> ChaseResult:
     """Saturate *structure* under the *datalog* rules of the theory only.
 
     On a finite structure this always terminates (no new elements are
     ever created).  Used as a building block by the Theorem-2 pipeline
     and by model checking.  The returned result carries the run's
-    :class:`~repro.chase.stats.ChaseStats` like any chase.
+    :class:`~repro.chase.stats.ChaseStats` like any chase.  Extra
+    keyword overrides (``wall_ms=...``, ``cancel_token=...``) are
+    forwarded to the :class:`ChaseConfig`, which is how the pipeline
+    propagates its remaining guard budget into inner saturations.
     """
     datalog_only = Theory(theory.datalog_rules(), theory.signature)
     return chase(
         structure,
         datalog_only,
         ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+        **overrides,
     )
 
 
@@ -468,13 +519,16 @@ def chase_with_embargo(
     theory: Theory,
     max_depth: "Optional[int]" = None,
     max_facts: "Optional[int]" = 500_000,
+    **overrides,
 ) -> ChaseResult:
     """Chase *structure* under the full theory, forbidding new elements.
 
     This is the executable form of Lemma 5: on the quotient of a
     conservative coloring the full chase needs no new elements, so this
     call saturates; on an insufficient quotient it raises
-    :class:`~repro.errors.NewElementEmbargoViolation`.
+    :class:`~repro.errors.NewElementEmbargoViolation`.  Extra keyword
+    overrides are forwarded to the :class:`ChaseConfig` (guard-budget
+    propagation, as in :func:`datalog_saturate`).
     """
     return chase(
         structure,
@@ -485,6 +539,7 @@ def chase_with_embargo(
             max_elements=None,
             allow_new_elements=False,
         ),
+        **overrides,
     )
 
 

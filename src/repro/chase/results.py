@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from ..lf.atoms import Atom
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null
+from ..runtime.guard import StopReason
 from .stats import ChaseStats
 
 
@@ -52,6 +53,11 @@ class ChaseResult:
         index probes) — see :class:`~repro.chase.stats.ChaseStats`.
         Always populated by :func:`repro.chase.chase`; ``None`` only on
         hand-built results.
+    stopped_reason:
+        Why the run ended — the uniform
+        :class:`~repro.runtime.StopReason` vocabulary
+        (``fixpoint``/``budget``/``deadline``/``cancelled``/``memory``).
+        ``fixpoint`` iff :attr:`saturated`.
     """
 
     structure: Structure
@@ -62,6 +68,7 @@ class ChaseResult:
     rounds_fired: List[int] = field(default_factory=list)
     provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None
     stats: "Optional[ChaseStats]" = None
+    stopped_reason: StopReason = StopReason.FIXPOINT
 
     @property
     def is_model(self) -> bool:

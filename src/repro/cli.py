@@ -16,19 +16,32 @@ output suitable for scripting.
 
 Machine-readable surface
 ------------------------
-Two global flags work on every command (before or after the command
+Four global flags work on every command (before or after the command
 name):
 
-``--json``   emit exactly one JSON object on stdout — always with the
-             keys ``command``, ``status``, ``counts`` (integer
-             counters), plus per-command payload (``facts``,
-             ``answers``, ``disjuncts``, ...).  Chase-backed commands
-             include a ``stats`` object (per-round trigger/delta/probe
-             counters); its ``wall_ms`` entries are the only
-             nondeterministic fields.
-``--stats``  in text mode, print the per-round chase instrumentation
-             as ``#``-prefixed comment lines; in JSON mode it is
-             implied.
+``--json``         emit exactly one JSON object on stdout — always with
+                   the keys ``command``, ``status``, ``counts``
+                   (integer counters), plus per-command payload
+                   (``facts``, ``answers``, ``disjuncts``, ...).
+                   Engine-backed commands also carry
+                   ``stopped_reason`` (see below) and a ``stats``
+                   object (per-round trigger/delta/probe counters);
+                   the ``wall_ms`` entries are the only
+                   nondeterministic fields.  The object is printed
+                   even when the run is interrupted or times out, so
+                   JSON consumers always get a well-formed payload
+                   with ``exit_code``.
+``--stats``        in text mode, print the per-round chase
+                   instrumentation as ``#``-prefixed comment lines; in
+                   JSON mode it is implied.
+``--wall-ms MS``   wall-clock deadline for the run (monotonic;
+                   engines stop cooperatively with a partial result).
+``--max-rss-mb M`` soft peak-RSS ceiling for the run.
+
+``stopped_reason`` vocabulary (:class:`~repro.runtime.StopReason`):
+``fixpoint`` (natural completion), ``budget`` (a count budget ran
+out), ``deadline`` (``--wall-ms`` expired), ``cancelled`` (Ctrl-C /
+SIGTERM), ``memory`` (``--max-rss-mb`` crossed).
 
 Exit codes
 ----------
@@ -40,10 +53,14 @@ Exit codes
 ``2``        incomplete/unknown: a budget was exhausted before the
              verdict (``certain`` unknown, ``rewrite`` not saturated,
              ``chase --explain`` target absent, Lemma-3 check failed,
-             ``fc-search`` out of nodes before a verdict)
+             ``fc-search`` out of nodes before a verdict) — including
+             a ``deadline`` or ``memory`` guard stop
 ``3``        no counter-model exists: ``countermodel`` found the query
              to be certain, or ``fc-search`` exhausted the bounded
              space without finding a model
+``130``      interrupted: the run was cancelled (Ctrl-C / SIGTERM);
+             with ``--json`` the payload still carries the partial
+             counters and ``stopped_reason: "cancelled"``
 ===========  =========================================================
 """
 
@@ -55,14 +72,17 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from .errors import ReproError
+from .errors import BudgetError, Cancelled, DeadlineExceeded, MemoryBudgetExceeded, ReproError
 from .lf import parse_query, parse_structure, parse_theory
+from .runtime import StopReason, cancellation_scope
 
 #: Exit codes (see the module docstring table).
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_INCOMPLETE = 2
 EXIT_NO_COUNTERMODEL = 3
+#: The conventional 128+SIGINT code: the run was cooperatively cancelled.
+EXIT_INTERRUPTED = 130
 
 
 def _load(text_or_path: str, inline: bool) -> str:
@@ -95,6 +115,20 @@ def _stats_dict(stats) -> "Optional[Dict[str, Any]]":
     return stats.as_dict() if stats is not None else None
 
 
+def _guard_overrides(args) -> Dict[str, Any]:
+    """The runtime-guard config fields from the global CLI flags."""
+    return {"wall_ms": args.wall_ms, "max_rss_mb": args.max_rss_mb}
+
+
+def _stop_code(stopped_reason, default: int) -> int:
+    """Map a guard stop onto the exit-code table (guards win over *default*)."""
+    if stopped_reason == StopReason.CANCELLED:
+        return EXIT_INTERRUPTED
+    if stopped_reason in (StopReason.DEADLINE, StopReason.MEMORY):
+        return EXIT_INCOMPLETE
+    return default
+
+
 def _print_stats(args, stats) -> None:
     """Text-mode ``--stats``: comment lines, deterministic order."""
     if args.stats and stats is not None:
@@ -109,13 +143,17 @@ def _cmd_chase(args) -> int:
     result = chase(
         database,
         theory,
-        ChaseConfig(max_depth=args.depth, trace=bool(args.explain)),
+        ChaseConfig(
+            max_depth=args.depth, trace=bool(args.explain), **_guard_overrides(args)
+        ),
     )
     status = "saturated" if result.saturated else "truncated"
+    code = _stop_code(result.stopped_reason, EXIT_OK)
     if args.json:
         payload = {
             "command": "chase",
             "status": status,
+            "stopped_reason": result.stopped_reason,
             "counts": {
                 "depth": result.depth,
                 "facts": len(result.structure),
@@ -125,11 +163,12 @@ def _cmd_chase(args) -> int:
             "facts": [str(f) for f in result.structure.sorted_facts()],
             "stats": _stats_dict(result.stats),
         }
-        return _emit_json(payload, EXIT_OK)
+        return _emit_json(payload, code)
     shown = status if result.saturated else f"truncated at depth {result.depth}"
     print(f"# chase {shown}: {len(result.structure)} facts, "
           f"{result.structure.domain_size} elements, "
-          f"{len(result.new_elements)} invented")
+          f"{len(result.new_elements)} invented "
+          f"(stopped: {result.stopped_reason.value})")
     _print_stats(args, result.stats)
     for fact in result.structure.sorted_facts():
         print(fact)
@@ -140,23 +179,31 @@ def _cmd_chase(args) -> int:
             return EXIT_ERROR
         print(f"# derivation of {facts[0]}:")
         print(explain(result, facts[0]).render(theory))
-    return EXIT_OK
+    return code
 
 
 def _cmd_certain(args) -> int:
-    from .chase import certain_report
+    from .chase import ChaseConfig, certain_report
 
     theory = _theory(args)
     database = _database(args)
     query = _query(args)
-    report = certain_report(database, theory, query, max_depth=args.depth)
+    config = ChaseConfig(
+        max_depth=args.depth,
+        max_facts=200_000,
+        max_elements=None,
+        **_guard_overrides(args),
+    )
+    report = certain_report(database, theory, query, config=config)
     verdict = {True: "certain", False: "not-certain", None: "unknown"}[report.verdict]
     code = EXIT_OK if report.verdict is not None else EXIT_INCOMPLETE
+    code = _stop_code(report.result.stopped_reason, code)
     rows = sorted(report.answers, key=str)
     if args.json:
         payload = {
             "command": "certain",
             "status": verdict,
+            "stopped_reason": report.result.stopped_reason,
             "complete": report.complete,
             "counts": {
                 "answers": len(report.answers),
@@ -176,7 +223,7 @@ def _cmd_certain(args) -> int:
     _print_stats(args, report.stats)
     for row in rows:
         print(", ".join(str(value) for value in row))
-    return EXIT_OK
+    return code
 
 
 def _cmd_rewrite(args) -> int:
@@ -189,14 +236,17 @@ def _cmd_rewrite(args) -> int:
         max_steps=args.max_steps,
         max_queries=args.max_queries,
         on_budget=OnBudget.RETURN,
+        **_guard_overrides(args),
     )
     engine = legacy_rewrite if args.legacy else rewrite
     result = engine(query, theory, config)
     code = EXIT_OK if result.saturated else EXIT_INCOMPLETE
+    code = _stop_code(result.stopped_reason, code)
     if args.json:
         payload = {
             "command": "rewrite",
             "status": "saturated" if result.saturated else "budget-exhausted",
+            "stopped_reason": result.stopped_reason,
             "counts": {
                 "disjuncts": len(result.ucq),
                 "steps": result.steps,
@@ -240,7 +290,7 @@ def _cmd_countermodel(args) -> int:
     theory = _theory(args)
     database = _database(args)
     query = _query(args)
-    config = PipelineConfig()
+    config = PipelineConfig(**_guard_overrides(args))
     if args.depths:
         config = config.with_overrides(
             chase_depths=tuple(int(d) for d in args.depths.split(","))
@@ -250,6 +300,7 @@ def _cmd_countermodel(args) -> int:
         payload = {
             "command": "countermodel",
             "status": "query-certain" if result.query_certain else "model-found",
+            "stopped_reason": result.stopped_reason,
             "counts": {
                 "model_size": result.model_size,
                 "kappa": result.kappa,
@@ -298,6 +349,7 @@ def _cmd_fc_search(args) -> int:
             forbidden=forbidden,
             max_elements=args.max_elements,
             max_nodes=args.max_nodes,
+            config=SearchConfig(**_guard_overrides(args)),
         )
     else:
         config = SearchConfig(
@@ -305,6 +357,7 @@ def _cmd_fc_search(args) -> int:
             max_nodes=args.max_nodes,
             heuristic=args.heuristic,
             canonical_dedup=not args.no_canonical_dedup,
+            **_guard_overrides(args),
         )
         outcome = search_finite_model(
             database, theory, forbidden=forbidden, config=config
@@ -316,10 +369,12 @@ def _cmd_fc_search(args) -> int:
         status, code = "exhausted-no-model", EXIT_NO_COUNTERMODEL
     else:
         status, code = "budget-exhausted", EXIT_INCOMPLETE
+    code = _stop_code(outcome.stopped_reason, code)
     if args.json:
         payload = {
             "command": "fc-search",
             "status": status,
+            "stopped_reason": outcome.stopped_reason,
             "counts": {
                 "nodes": stats.nodes,
                 "duplicates": stats.duplicates,
@@ -343,7 +398,8 @@ def _cmd_fc_search(args) -> int:
         print(f"# no model with <= {args.max_elements} elements "
               f"(exhaustive: {stats.nodes} nodes)")
     else:
-        print(f"# inconclusive: budget exhausted after {stats.nodes} nodes")
+        print(f"# inconclusive: stopped after {stats.nodes} nodes "
+              f"({outcome.stopped_reason.value})")
     _print_stats(args, stats)
     if outcome.model is not None:
         for fact in outcome.model.sorted_facts():
@@ -356,7 +412,9 @@ def _cmd_skeleton(args) -> int:
 
     theory = _theory(args)
     database = _database(args)
-    result = skeleton(database, theory, max_depth=args.depth)
+    result = skeleton(
+        database, theory, max_depth=args.depth, **_guard_overrides(args)
+    )
     report = lemma3_report(result)
     code = EXIT_OK if report.all_hold else EXIT_INCOMPLETE
     if args.json:
@@ -404,12 +462,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", default=argparse.SUPPRESS,
         help="print per-round chase instrumentation (implied by --json)",
     )
+    global_flags.add_argument(
+        "--wall-ms", type=float, default=argparse.SUPPRESS, metavar="MS",
+        help="wall-clock deadline: stop cooperatively with a partial result",
+    )
+    global_flags.add_argument(
+        "--max-rss-mb", type=float, default=argparse.SUPPRESS, metavar="MB",
+        help="soft peak-RSS ceiling: stop cooperatively when crossed",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A Datalog∃ laboratory for 'On the BDD/FC Conjecture'.",
-        epilog="exit codes: 0 success, 1 error, 2 incomplete/unknown, "
-               "3 no counter-model (query certain)",
+        epilog="exit codes: 0 success, 1 error, 2 incomplete/unknown "
+               "(count budget, --wall-ms deadline, or --max-rss-mb ceiling), "
+               "3 no counter-model (query certain), 130 interrupted "
+               "(Ctrl-C/SIGTERM; partial result still emitted under --json). "
+               "JSON payloads carry stopped_reason: "
+               "fixpoint|budget|deadline|cancelled|memory.",
     )
     parser.add_argument(
         "-e", "--inline", action="store_true",
@@ -418,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true", default=False,
                         help=argparse.SUPPRESS)
     parser.add_argument("--stats", action="store_true", default=False,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--wall-ms", type=float, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--max-rss-mb", type=float, default=None,
                         help=argparse.SUPPRESS)
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -507,21 +581,51 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
-    """Entry point; returns the process exit code (see the docstring table)."""
+    """Entry point; returns the process exit code (see the docstring table).
+
+    The whole run executes inside a
+    :func:`~repro.runtime.cancellation_scope`: the first Ctrl-C /
+    SIGTERM trips the ambient cancel token, engines unwind
+    cooperatively, and the process exits :data:`EXIT_INTERRUPTED` —
+    with the usual one-line JSON payload under ``--json``.  A second
+    signal (or an interrupt outside any engine checkpoint) lands in the
+    ``KeyboardInterrupt`` handler below, which still emits well-formed
+    JSON before exiting.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.handler(args)
-    except (ReproError, OSError) as error:
+
+    def fail(status: str, error: "Optional[BaseException]", code: int) -> int:
+        """The uniform non-success surface: one JSON object or one stderr line."""
         if args.json:
-            print(json.dumps(
-                {"command": args.command, "status": "error",
-                 "error": str(error), "exit_code": EXIT_ERROR},
-                sort_keys=True,
-            ))
+            payload: Dict[str, Any] = {
+                "command": args.command,
+                "status": status,
+                "exit_code": code,
+            }
+            if error is not None and str(error):
+                payload["error"] = str(error)
+            if isinstance(error, BudgetError):
+                payload["stopped_reason"] = error.stopped_reason
+            elif status == "interrupted":
+                payload["stopped_reason"] = StopReason.CANCELLED.value
+            print(json.dumps(payload, sort_keys=True, default=str))
         else:
-            print(f"error: {error}", file=sys.stderr)
-        return EXIT_ERROR
+            detail = f": {error}" if error is not None and str(error) else ""
+            print(f"{status}{detail}", file=sys.stderr)
+        return code
+
+    try:
+        with cancellation_scope():
+            return args.handler(args)
+    except Cancelled as error:
+        return fail("interrupted", error, EXIT_INTERRUPTED)
+    except (DeadlineExceeded, MemoryBudgetExceeded) as error:
+        return fail("incomplete", error, EXIT_INCOMPLETE)
+    except KeyboardInterrupt:
+        return fail("interrupted", None, EXIT_INTERRUPTED)
+    except (ReproError, OSError) as error:
+        return fail("error", error, EXIT_ERROR)
 
 
 if __name__ == "__main__":  # pragma: no cover

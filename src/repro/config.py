@@ -13,11 +13,26 @@ place that contract lives:
   legacy strings ``"return"`` / ``"raise"`` still works everywhere but
   emits a :class:`DeprecationWarning` (the shim is
   :meth:`OnBudget.coerce`).
-* :class:`BudgetedConfig` — a mixin for the config dataclasses giving
-  them the shared surface: :attr:`~BudgetedConfig.should_raise` and
+* :class:`BudgetedConfig` — the dataclass base of the config
+  dataclasses, giving them the shared surface:
+  :attr:`~BudgetedConfig.should_raise`,
   :meth:`~BudgetedConfig.with_overrides` (a type-checked
   ``dataclasses.replace`` that re-runs validation, replacing the old
-  fragile ``{**config.__dict__, **overrides}`` merges).
+  fragile ``{**config.__dict__, **overrides}`` merges), and the
+  **runtime-guard fields** shared by every engine
+  (:mod:`repro.runtime`): :attr:`~BudgetedConfig.wall_ms` (monotonic
+  wall-clock deadline), :attr:`~BudgetedConfig.max_rss_mb` (soft peak
+  RSS ceiling), :attr:`~BudgetedConfig.cancel_token` (cooperative
+  cancellation), and :attr:`~BudgetedConfig.guards_disabled` (the
+  benchmark ablation switch).
+
+Hitting any guard obeys the same :class:`OnBudget` policy as the count
+budgets: ``RETURN`` yields a partial result whose ``stopped_reason``
+names the cause, ``RAISE`` raises the matching typed exception
+(:class:`~repro.errors.DeadlineExceeded`,
+:class:`~repro.errors.Cancelled`,
+:class:`~repro.errors.MemoryBudgetExceeded`) carrying the partial
+stats snapshot.
 
 Because :class:`OnBudget` subclasses :class:`str`, existing comparisons
 such as ``config.on_budget == "raise"`` keep working unchanged.
@@ -28,7 +43,10 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from enum import Enum
-from typing import Any, Type, TypeVar
+from typing import TYPE_CHECKING, Any, Optional, Type, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime.guard import CancelToken
 
 E = TypeVar("E", bound="Enum")
 C = TypeVar("C", bound="BudgetedConfig")
@@ -85,7 +103,12 @@ class OnBudget(str, Enum):
         Raise the engine's budget exception
         (:class:`~repro.errors.ChaseBudgetExceeded`,
         :class:`~repro.errors.RewritingBudgetExceeded`,
-        :class:`~repro.errors.PipelineError`).
+        :class:`~repro.errors.PipelineError`) — or, when a runtime
+        guard tripped, the matching
+        :class:`~repro.errors.DeadlineExceeded` /
+        :class:`~repro.errors.Cancelled` /
+        :class:`~repro.errors.MemoryBudgetExceeded`.  All carry the
+        engine's stats snapshot on ``.stats``.
     """
 
     RETURN = "return"
@@ -97,18 +120,52 @@ class OnBudget(str, Enum):
         return coerce_enum(value, cls, "on_budget", deprecate_strings=True)
 
 
+@dataclasses.dataclass
 class BudgetedConfig:
-    """Mixin giving config dataclasses the shared budget surface.
+    """Dataclass base giving engine configs the shared budget surface.
 
-    Subclasses are dataclasses declaring their own ``on_budget`` field
-    (defaults differ per engine); their ``__post_init__`` must call
-    ``super().__post_init__()`` so the legacy-string shim runs.
+    Subclasses redeclare ``on_budget`` to pick their engine's default
+    policy; their ``__post_init__`` must call
+    ``super().__post_init__()`` so the legacy-string shim and the guard
+    validation run.
+
+    Attributes
+    ----------
+    on_budget:
+        What to do when any budget — count-based or guard-based — is
+        hit (:class:`OnBudget`).
+    wall_ms:
+        Monotonic wall-clock budget for the whole run, in milliseconds
+        (``None`` = no deadline).  Checked at every engine checkpoint
+        by the run's :class:`~repro.runtime.RuntimeGuard`.
+    max_rss_mb:
+        Soft ceiling on the process's peak RSS in MiB (``None`` = no
+        ceiling).  Polled cheaply every few checkpoints via
+        ``resource.getrusage``; degrades to a partial result.
+    cancel_token:
+        A :class:`~repro.runtime.CancelToken` polled at every
+        checkpoint.  ``None`` falls back to the ambient token installed
+        by :func:`~repro.runtime.cancellation_scope` (the CLI's
+        Ctrl-C/SIGTERM path), if any.
+    guards_disabled:
+        Skip guard construction entirely (the run uses the shared
+        inactive guard).  The ablation switch for the
+        ``BENCH_guard.json`` overhead measurement — not meant for
+        production configs.
     """
 
-    on_budget: OnBudget
+    on_budget: OnBudget = OnBudget.RETURN
+    wall_ms: "Optional[float]" = None
+    max_rss_mb: "Optional[float]" = None
+    cancel_token: "Optional[CancelToken]" = None
+    guards_disabled: bool = False
 
     def __post_init__(self) -> None:
         self.on_budget = OnBudget.coerce(self.on_budget)
+        if self.wall_ms is not None and self.wall_ms < 0:
+            raise ValueError(f"wall_ms must be >= 0, got {self.wall_ms}")
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError(f"max_rss_mb must be > 0, got {self.max_rss_mb}")
 
     @property
     def should_raise(self) -> bool:

@@ -54,6 +54,7 @@ from ..lf.homomorphism import satisfies
 from ..lf.queries import ConjunctiveQuery
 from ..lf.rules import Theory
 from ..lf.structures import Structure
+from ..runtime.guard import RuntimeGuard, StopReason
 from ..lf.terms import Constant, Element, Null
 from ..ptypes.partition import TypePartition
 from ..ptypes.quotient import Quotient, quotient
@@ -123,6 +124,12 @@ class FiniteModelResult:
         Instrumentation of every chase the pipeline ran (the truncation
         chase per depth and each embargo saturation), in execution
         order — see :class:`~repro.chase.stats.ChaseStats`.
+    stopped_reason:
+        Why the pipeline ended (:class:`~repro.runtime.StopReason`):
+        ``fixpoint`` on a verdict (model built, or query certain),
+        ``budget`` when the whole (depth, η) schedule failed, and
+        ``deadline``/``cancelled``/``memory`` when a runtime guard
+        tripped mid-schedule.
     """
 
     model: "Optional[Structure]"
@@ -136,6 +143,7 @@ class FiniteModelResult:
     prepared: "Optional[PreparedTheory]" = None
     attempts: List[str] = field(default_factory=list)
     chase_stats: List[ChaseStats] = field(default_factory=list)
+    stopped_reason: StopReason = StopReason.FIXPOINT
 
 
 def _interior_elements(
@@ -200,6 +208,7 @@ def build_finite_counter_model(
         reasons attached.
     """
     config = config or PipelineConfig()
+    guard = RuntimeGuard.from_config(config, "pipeline")
     # prepare() accepts binary theories and Theorem 3's frontier-1
     # shape (splitting heads via §5.1); anything else raises there.
     prepared = prepare(theory, query)
@@ -213,14 +222,40 @@ def build_finite_counter_model(
         model=None, query_certain=False, kappa=kappa, prepared=prepared
     )
 
+    def guard_stop(reason: StopReason) -> FiniteModelResult:
+        """Apply the on_budget policy for a tripped guard *reason*."""
+        result.stopped_reason = reason
+        if config.should_raise:
+            raise guard.exception(reason, stats=result)
+        return result
+
+    # Inner chases inherit the pipeline's remaining wall budget, memory
+    # ceiling, and cancel token (always OnBudget.RETURN: they stop
+    # promptly with a partial result, and the pipeline's own checkpoint
+    # right after translates the stop into the configured policy).
+    def inner_budgets() -> Dict[str, object]:
+        return {
+            "wall_ms": guard.remaining_ms(),
+            "max_rss_mb": config.max_rss_mb,
+            "cancel_token": config.cancel_token,
+            "guards_disabled": config.guards_disabled,
+        }
+
     for depth in config.chase_depths:
+        reason = guard.check()
+        if reason is not None:
+            return guard_stop(reason)
         chased = chase(
             database,
             working_theory,
             ChaseConfig(max_depth=depth, max_facts=config.max_facts, max_elements=None),
+            **inner_budgets(),
         )
         if chased.stats is not None:
             result.chase_stats.append(chased.stats)
+        reason = guard.check()
+        if reason is not None:
+            return guard_stop(reason)
         if chased.structure.facts_with_pred(flag):
             result.query_certain = True
             result.depth = depth
@@ -244,6 +279,9 @@ def build_finite_counter_model(
         colored = natural_coloring(skel.structure, kappa)
         gap = _level_gap(skel.structure)
         for eta in range(kappa, kappa + config.eta_extra + 1):
+            reason = guard.check()
+            if reason is not None:
+                return guard_stop(reason)
             margin = max(eta, kappa) * gap
             interior = _interior_elements(skel.structure, depth, margin)
             if not database.domain() <= interior or len(interior) <= database.domain_size:
@@ -265,7 +303,9 @@ def build_finite_counter_model(
                 quotiented.structure, colored.base_relations
             )
             try:
-                saturated = chase_with_embargo(candidate, working_theory)
+                saturated = chase_with_embargo(
+                    candidate, working_theory, **inner_budgets()
+                )
                 if saturated.stats is not None:
                     result.chase_stats.append(saturated.stats)
             except NewElementEmbargoViolation as violation:
@@ -294,13 +334,15 @@ def build_finite_counter_model(
             result.model_size = model.domain_size
             return result
 
+    result.stopped_reason = StopReason.BUDGET
     if not config.should_raise:
         return result
     raise PipelineError(
         "no (depth, eta) in the budget produced a verified finite model "
         "(slow-growing chases — e.g. several datalog rounds per witness — "
         "often need a deeper schedule: PipelineConfig(chase_depths=(32,))); "
-        "attempts: " + "; ".join(result.attempts)
+        "attempts: " + "; ".join(result.attempts),
+        stats=result,
     )
 
 

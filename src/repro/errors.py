@@ -3,9 +3,24 @@
 All exceptions raised by the library derive from :class:`ReproError`, so
 callers can catch one type at an API boundary.  Subclasses are grouped by
 the subsystem that raises them.
+
+Budget-family exceptions — everything an engine raises when it stops
+short of its verdict, whether on a count budget, a wall-clock deadline,
+a memory ceiling, or cancellation — share the :class:`BudgetError`
+base and its ``.stats`` attribute: the engine's stats snapshot at stop
+time (:class:`~repro.chase.stats.ChaseStats`,
+:class:`~repro.rewriting.stats.RewriteStats`,
+:class:`~repro.fc.SearchStats`, or the pipeline's partial
+:class:`~repro.core.FiniteModelResult`).  The legacy per-exception
+loose ints (``ChaseBudgetExceeded.depth``/``.facts``,
+``RewritingBudgetExceeded.steps``/``.queries``) are deprecated in
+favour of the snapshot and warn on access.
 """
 
 from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
 
 
 class ReproError(Exception):
@@ -51,25 +66,91 @@ class RuleError(ReproError):
     or an existential TGD whose frontier is not contained in the body)."""
 
 
+class BudgetError(ReproError):
+    """Common base of every "stopped short of the verdict" exception.
+
+    Attributes
+    ----------
+    stats:
+        The raising engine's stats snapshot at stop time (the same
+        object a quiet ``OnBudget.RETURN`` run would have put on its
+        partial result), or ``None`` on hand-built instances.
+    stopped_reason:
+        The :class:`~repro.runtime.StopReason` value naming the cause
+        (``"budget"`` for count budgets; ``"deadline"`` /
+        ``"cancelled"`` / ``"memory"`` for the runtime guards).
+    """
+
+    stopped_reason: str = "budget"
+
+    def __init__(self, message: str, stats: Any = None):
+        super().__init__(message)
+        self.stats = stats
+
+    def _deprecated_int(self, name: str, value: int) -> int:
+        warnings.warn(
+            f"{type(self).__name__}.{name} is deprecated; read the "
+            f"engine's stats snapshot on .stats instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return value
+
+
+class DeadlineExceeded(BudgetError):
+    """The run's wall-clock budget (``wall_ms``) expired before the
+    verdict.  Carries the partial stats snapshot on ``.stats``."""
+
+    stopped_reason = "deadline"
+
+
+class Cancelled(BudgetError):
+    """The run was cooperatively cancelled (Ctrl-C / SIGTERM under the
+    CLI, or a tripped :class:`~repro.runtime.CancelToken`).  Carries
+    the partial stats snapshot on ``.stats``."""
+
+    stopped_reason = "cancelled"
+
+
+class MemoryBudgetExceeded(BudgetError):
+    """Peak RSS crossed the soft ceiling (``max_rss_mb``) before the
+    verdict.  Carries the partial stats snapshot on ``.stats``."""
+
+    stopped_reason = "memory"
+
+
 class ChaseError(ReproError):
     """The chase engine was asked to do something it cannot do."""
 
 
-class ChaseBudgetExceeded(ChaseError):
+class ChaseBudgetExceeded(ChaseError, BudgetError):
     """The chase hit its depth or fact budget before reaching a fixpoint.
 
-    Attributes
-    ----------
-    depth:
-        Number of completed rounds.
-    facts:
-        Number of facts produced so far.
+    ``.stats`` carries the run's :class:`~repro.chase.stats.ChaseStats`
+    at stop time.  The loose ``depth``/``facts`` ints are deprecated
+    (use ``len(stats.rounds)`` and ``stats.facts_added``).
     """
 
-    def __init__(self, message: str, depth: int = 0, facts: int = 0):
-        super().__init__(message)
-        self.depth = depth
-        self.facts = facts
+    def __init__(
+        self,
+        message: str,
+        depth: int = 0,
+        facts: int = 0,
+        stats: Any = None,
+    ):
+        BudgetError.__init__(self, message, stats=stats)
+        self._depth = depth
+        self._facts = facts
+
+    @property
+    def depth(self) -> int:
+        """Deprecated: completed rounds at stop time (see ``.stats``)."""
+        return self._deprecated_int("depth", self._depth)
+
+    @property
+    def facts(self) -> int:
+        """Deprecated: facts produced at stop time (see ``.stats``)."""
+        return self._deprecated_int("facts", self._facts)
 
 
 class NewElementEmbargoViolation(ChaseError):
@@ -83,17 +164,35 @@ class NewElementEmbargoViolation(ChaseError):
     """
 
 
-class RewritingBudgetExceeded(ReproError):
+class RewritingBudgetExceeded(BudgetError):
     """The UCQ rewriting engine exhausted its step budget.
 
     The theory may still be BDD; the caller should either raise the
-    budget or treat the BDD status as unknown.
+    budget or treat the BDD status as unknown.  ``.stats`` carries the
+    run's :class:`~repro.rewriting.stats.RewriteStats` at stop time;
+    the loose ``steps``/``queries`` ints are deprecated.
     """
 
-    def __init__(self, message: str, steps: int = 0, queries: int = 0):
-        super().__init__(message)
-        self.steps = steps
-        self.queries = queries
+    def __init__(
+        self,
+        message: str,
+        steps: int = 0,
+        queries: int = 0,
+        stats: Any = None,
+    ):
+        super().__init__(message, stats=stats)
+        self._steps = steps
+        self._queries = queries
+
+    @property
+    def steps(self) -> int:
+        """Deprecated: step applications at stop time (see ``.stats``)."""
+        return self._deprecated_int("steps", self._steps)
+
+    @property
+    def queries(self) -> int:
+        """Deprecated: distinct disjuncts at stop time (see ``.stats``)."""
+        return self._deprecated_int("queries", self._queries)
 
 
 class NotBDDWitness(ReproError):
@@ -109,12 +208,15 @@ class ConservativityError(ReproError):
     """A conservativity search failed within its budget."""
 
 
-class PipelineError(ReproError):
+class PipelineError(BudgetError):
     """The Theorem-2 finite-model pipeline could not produce a verified
-    model within the configured budgets."""
+    model within the configured budgets.  ``.stats`` carries the
+    partial :class:`~repro.core.FiniteModelResult` (per-attempt
+    reasons, chase stats) at stop time."""
 
 
-class ModelSearchExhausted(ReproError):
+class ModelSearchExhausted(BudgetError):
     """The finite-model search explored its whole budget without finding
     a model (which is *not* a proof that none exists unless the search
-    space was complete)."""
+    space was complete).  ``.stats`` carries the run's
+    :class:`~repro.fc.SearchStats` at stop time."""

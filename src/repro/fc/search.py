@@ -55,6 +55,7 @@ from ..chase.engine import datalog_saturate
 from ..chase.seminaive import incremental_datalog_saturate, seminaive_saturate
 from ..config import BudgetedConfig, OnBudget, coerce_enum
 from ..errors import ChaseBudgetExceeded, ModelSearchExhausted
+from ..runtime.guard import RuntimeGuard, StopReason
 from ..lf.atoms import Atom
 from ..lf.canonical import canonical_key
 from ..lf.homomorphism import find_homomorphism, homomorphisms, satisfies
@@ -268,10 +269,17 @@ class SearchResult:
         A finite model (``None`` if none found within bounds).
     stats:
         Search diagnostics.
+    stopped_reason:
+        Why the run ended (:class:`~repro.runtime.StopReason`):
+        ``fixpoint`` when the search settled (model found, or the
+        bounded space fully explored), ``budget`` on the node or
+        saturation budget, ``deadline``/``cancelled``/``memory`` when a
+        runtime guard tripped.
     """
 
     model: "Optional[Structure]"
     stats: SearchStats
+    stopped_reason: StopReason = StopReason.FIXPOINT
 
     @property
     def found(self) -> bool:
@@ -437,12 +445,16 @@ def _delta_search(
 ) -> SearchResult:
     started = time.perf_counter()
     stats = SearchStats(engine="delta", heuristic=config.heuristic.value)
+    guard = RuntimeGuard.from_config(config, "fc-search")
 
-    def finish(model: "Optional[Structure]") -> SearchResult:
+    def finish(
+        model: "Optional[Structure]",
+        reason: StopReason = StopReason.FIXPOINT,
+    ) -> SearchResult:
         stats.wall_ms = (time.perf_counter() - started) * 1000.0
         if stats.saturation_pruned:
             stats.exhausted = False
-        return SearchResult(model=model, stats=stats)
+        return SearchResult(model=model, stats=stats, stopped_reason=reason)
 
     nulls = NullFactory.above(database.domain())
     datalog_rules = [rule for rule in theory.rules if rule.is_datalog]
@@ -454,7 +466,7 @@ def _delta_search(
     except ChaseBudgetExceeded:
         stats.saturation_pruned += 1
         stats.exhausted = False
-        return finish(None)
+        return finish(None, StopReason.BUDGET)
 
     finder = _TriggerFinder(theory, root_structure)
     root = _State(None, (), root_structure, root_structure.domain_size)
@@ -483,14 +495,23 @@ def _delta_search(
     seen_raw: Set[FrozenSet[Atom]] = set()
 
     while stack or heap:
+        reason = guard.check()
+        if reason is not None:
+            stats.exhausted = False
+            if config.should_raise:
+                stats.wall_ms = (time.perf_counter() - started) * 1000.0
+                raise guard.exception(reason, stats=stats)
+            return finish(None, reason)
         if stats.nodes >= config.max_nodes:
             stats.exhausted = False
             if config.should_raise:
+                stats.wall_ms = (time.perf_counter() - started) * 1000.0
                 raise ModelSearchExhausted(
                     f"node budget exhausted ({config.max_nodes} nodes) "
-                    "before a verdict"
+                    "before a verdict",
+                    stats=stats,
                 )
-            break
+            return finish(None, StopReason.BUDGET)
         state = pop()
 
         if state.structure is None:
@@ -610,6 +631,7 @@ def search_finite_model(
     max_elements: int = 10,
     max_nodes: int = 50_000,
     config: "Optional[SearchConfig]" = None,
+    **overrides,
 ) -> SearchResult:
     """Search for a finite ``M ⊨ database, theory`` (avoiding *forbidden*).
 
@@ -623,10 +645,14 @@ def search_finite_model(
 
     Pass a :class:`SearchConfig` for the full set of knobs (an explicit
     *config* wins over the ``max_elements`` / ``max_nodes`` shorthands);
+    extra keyword overrides (``wall_ms=...``, ``heuristic=...``) are
+    applied on top via
+    :meth:`~repro.config.BudgetedConfig.with_overrides`.
     :func:`legacy_search` runs the pre-rebuild algorithm for ablation.
     """
     if config is None:
         config = SearchConfig(max_elements=max_elements, max_nodes=max_nodes)
+    config = config.with_overrides(**overrides)
     return _delta_search(database, theory, forbidden, config)
 
 
@@ -636,25 +662,43 @@ def legacy_search(
     forbidden: "Optional[ConjunctiveQuery | UnionOfConjunctiveQueries]" = None,
     max_elements: int = 10,
     max_nodes: int = 50_000,
+    config: "Optional[SearchConfig]" = None,
 ) -> SearchResult:
     """The original eager algorithm: full copy + full re-saturation per
     branch, raw fact-set dedup.  Kept for parity tests and as the
-    baseline of the ``BENCH_fc`` scoreboard."""
+    baseline of the ``BENCH_fc`` scoreboard.  An optional *config*
+    supplies the runtime-guard fields (``wall_ms``, ``cancel_token``,
+    ``max_rss_mb``); the count budgets stay the explicit arguments."""
     started = time.perf_counter()
     stats = SearchStats(engine="legacy", heuristic="dfs")
+    guard = RuntimeGuard.from_config(config, "fc-search")
+    should_raise = config.should_raise if config is not None else False
     nulls = NullFactory.above(database.domain())
     seen: Set[frozenset] = set()
 
-    def finish(model: "Optional[Structure]") -> SearchResult:
+    def finish(
+        model: "Optional[Structure]",
+        reason: StopReason = StopReason.FIXPOINT,
+    ) -> SearchResult:
         stats.wall_ms = (time.perf_counter() - started) * 1000.0
-        return SearchResult(model=model, stats=stats)
+        return SearchResult(model=model, stats=stats, stopped_reason=reason)
 
     start = datalog_saturate(database, theory).structure
     stack: List[Structure] = [start]
+    stopped_reason = StopReason.FIXPOINT
 
     while stack:
+        reason = guard.check()
+        if reason is not None:
+            stats.exhausted = False
+            if should_raise:
+                stats.wall_ms = (time.perf_counter() - started) * 1000.0
+                raise guard.exception(reason, stats=stats)
+            stopped_reason = reason
+            break
         if stats.nodes >= max_nodes:
             stats.exhausted = False
+            stopped_reason = StopReason.BUDGET
             break
         state = stack.pop()
         marker = state.facts()
@@ -690,7 +734,7 @@ def legacy_search(
             stats.states_materialised += 1
         stats.frontier_peak = max(stats.frontier_peak, len(stack))
 
-    return finish(None)
+    return finish(None, stopped_reason)
 
 
 def every_finite_model_satisfies(
@@ -748,6 +792,7 @@ def find_counter_model(
     if outcome.model is None:
         raise ModelSearchExhausted(
             f"no finite model avoiding the query within bounds "
-            f"(exhausted={outcome.stats.exhausted})"
+            f"(exhausted={outcome.stats.exhausted})",
+            stats=outcome.stats,
         )
     return outcome.model

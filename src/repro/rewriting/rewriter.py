@@ -60,6 +60,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..config import BudgetedConfig, OnBudget
 from ..errors import RewritingBudgetExceeded, RuleError
+from ..runtime.guard import RuntimeGuard, StopReason
 from ..lf.atoms import Atom
 from ..lf.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..lf.rules import Rule, Theory
@@ -133,6 +134,11 @@ class RewritingResult:
     stats:
         Per-run instrumentation (:class:`~repro.rewriting.stats.RewriteStats`).
         ``None`` only on hand-built results.
+    stopped_reason:
+        Why the run ended (:class:`~repro.runtime.StopReason`):
+        ``fixpoint`` iff :attr:`saturated`, ``budget`` on an exhausted
+        step/query budget, and ``deadline``/``cancelled``/``memory``
+        when a runtime guard tripped.
     """
 
     ucq: UnionOfConjunctiveQueries
@@ -141,6 +147,7 @@ class RewritingResult:
     generated: int
     depth_bound: int = 0
     stats: "Optional[RewriteStats]" = None
+    stopped_reason: StopReason = StopReason.FIXPOINT
 
     @property
     def max_width(self) -> int:
@@ -411,6 +418,7 @@ def rewrite(
     query: ConjunctiveQuery,
     theory: Theory,
     config: "Optional[RewriteConfig]" = None,
+    **overrides,
 ) -> RewritingResult:
     """Compute the UCQ rewriting of *query* under *theory*.
 
@@ -418,19 +426,24 @@ def rewrite(
     saturated output is UCQ-equivalent to :func:`legacy_rewrite`'s,
     which the differential property suite enforces.  Requires
     single-head rules (convert multi-head theories with
-    :mod:`repro.transforms.multihead` first).
+    :mod:`repro.transforms.multihead` first).  Keyword overrides
+    (``max_steps=...``, ``wall_ms=...``) are applied on top of *config*
+    via :meth:`~repro.config.BudgetedConfig.with_overrides`.
 
     Raises
     ------
     RewritingBudgetExceeded
         When the budget is hit and ``config.should_raise``.
+    DeadlineExceeded / Cancelled / MemoryBudgetExceeded
+        When a runtime guard trips and ``config.should_raise``.
     RuleError
         If the theory contains a multi-head rule.
     """
-    config = config or RewriteConfig()
+    config = (config or RewriteConfig()).with_overrides(**overrides)
     _require_single_head(theory)
     stats = RewriteStats(engine="indexed")
     run_start = time.perf_counter()
+    guard = RuntimeGuard.from_config(config, "rewrite")
 
     start = normalize_equalities(query)
     if start is None:
@@ -461,6 +474,7 @@ def rewrite(
     steps = 0
     generated = 1
     saturated = True
+    stopped_reason = StopReason.FIXPOINT
     stats.kept = 1
 
     def consider(
@@ -528,14 +542,27 @@ def rewrite(
         )
 
     while worklist:
+        reason = guard.check()
+        if reason is not None:
+            saturated = False
+            stopped_reason = reason
+            if config.should_raise:
+                stats.steps = steps
+                stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
+                raise guard.exception(reason, stats=stats)
+            break
         if steps >= config.max_steps or len(seen) >= config.max_queries:
             saturated = False
+            stopped_reason = StopReason.BUDGET
             if config.should_raise:
+                stats.steps = steps
+                stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
                 raise RewritingBudgetExceeded(
                     f"rewriting budget exhausted ({steps} steps, "
                     f"{len(seen)} queries)",
                     steps=steps,
                     queries=len(seen),
+                    stats=stats,
                 )
             break
         _, _, _, current, current_depth = heapq.heappop(worklist)
@@ -621,6 +648,7 @@ def rewrite(
         generated=generated,
         depth_bound=depth_bound,
         stats=stats,
+        stopped_reason=stopped_reason,
     )
 
 
@@ -632,6 +660,7 @@ def legacy_rewrite(
     query: ConjunctiveQuery,
     theory: Theory,
     config: "Optional[RewriteConfig]" = None,
+    **overrides,
 ) -> RewritingResult:
     """The pre-index quadratic loop, kept callable for ablation.
 
@@ -639,12 +668,13 @@ def legacy_rewrite(
     is pairwise ``cq_subsumes``-checked against the whole frontier —
     exactly the baseline ``BENCH_rewrite.json`` and the differential
     property suite compare the worklist engine against.  Semantics
-    (budgets, exceptions, saturation) match :func:`rewrite`.
+    (budgets, guards, exceptions, saturation) match :func:`rewrite`.
     """
-    config = config or RewriteConfig()
+    config = (config or RewriteConfig()).with_overrides(**overrides)
     _require_single_head(theory)
     stats = RewriteStats(engine="legacy")
     run_start = time.perf_counter()
+    guard = RuntimeGuard.from_config(config, "rewrite")
 
     start = normalize_equalities(query)
     if start is None:
@@ -661,6 +691,7 @@ def legacy_rewrite(
     generated = 1
     counter = 0
     saturated = True
+    stopped_reason = StopReason.FIXPOINT
     stats.kept = 1
 
     def consider(
@@ -702,14 +733,27 @@ def legacy_rewrite(
         worklist.append((normal, depth))
 
     while worklist:
+        reason = guard.check()
+        if reason is not None:
+            saturated = False
+            stopped_reason = reason
+            if config.should_raise:
+                stats.steps = steps
+                stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
+                raise guard.exception(reason, stats=stats)
+            break
         if steps >= config.max_steps or len(seen) >= config.max_queries:
             saturated = False
+            stopped_reason = StopReason.BUDGET
             if config.should_raise:
+                stats.steps = steps
+                stats.wall_ms = (time.perf_counter() - run_start) * 1000.0
                 raise RewritingBudgetExceeded(
                     f"rewriting budget exhausted ({steps} steps, "
                     f"{len(seen)} queries)",
                     steps=steps,
                     queries=len(seen),
+                    stats=stats,
                 )
             break
         current, current_depth = worklist.pop()
@@ -750,4 +794,5 @@ def legacy_rewrite(
         generated=generated,
         depth_bound=depth_bound,
         stats=stats,
+        stopped_reason=stopped_reason,
     )

@@ -92,17 +92,20 @@ def skeleton(
     theory: Theory,
     max_depth: int = 10,
     max_facts: "Optional[int]" = 100_000,
+    **overrides,
 ) -> SkeletonResult:
     """Chase *database* under *theory* and extract the skeleton.
 
     The chase is truncated at *max_depth* rounds; the skeleton of a
     truncation is the truncation of the skeleton, so deeper runs only
-    extend the forest downward.
+    extend the forest downward.  Extra keyword overrides (``wall_ms``,
+    ``cancel_token``, ...) are forwarded to the chase config.
     """
     result = chase(
         database,
         theory,
         ChaseConfig(max_depth=max_depth, max_facts=max_facts, max_elements=None),
+        **overrides,
     )
     return skeleton_of_chase(result, database, theory)
 

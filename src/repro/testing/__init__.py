@@ -1,0 +1,11 @@
+"""Test infrastructure shipped with the library.
+
+:mod:`repro.testing.faults` — the deterministic fault injector that
+trips any runtime guard (deadline / cancellation / memory) at the K-th
+checkpoint of a named engine, driving the partial-result test battery
+in ``tests/runtime/``.
+"""
+
+from .faults import ENGINE_NAMES, FaultInjector, inject_fault
+
+__all__ = ["ENGINE_NAMES", "FaultInjector", "inject_fault"]

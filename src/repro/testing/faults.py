@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the runtime-guard layer.
+
+Wall-clock, memory, and signal faults are miserable to reproduce in
+tests: a deadline test that actually sleeps is slow *and* flaky, an RSS
+test depends on the allocator, a SIGINT test on scheduler timing.  The
+injector sidesteps all of that by tripping the guard *logically*: it
+installs a process-wide hook (:func:`repro.runtime.set_fault_hook`)
+that every active :class:`~repro.runtime.RuntimeGuard` consults at
+every checkpoint, and returns the configured
+:class:`~repro.runtime.StopReason` at exactly the K-th checkpoint of
+the named engine.  From the engine's point of view the stop is
+indistinguishable from the real thing, so one parametrised battery
+covers every ``(engine, reason, policy)`` cell of the contract:
+partial result flagged incomplete under ``OnBudget.RETURN``, typed
+exception carrying ``.stats`` under ``OnBudget.RAISE``.
+
+While a hook is installed, :meth:`RuntimeGuard.from_config` always
+builds an *active* guard — faults reach engines whose configs carry no
+wall/memory budgets at all (``guards_disabled=True`` still wins: the
+ablation switch must measure the true unguarded path).
+
+>>> from repro.testing import inject_fault
+>>> from repro.chase import chase
+>>> with inject_fault("chase", "deadline") as injector:
+...     result = chase(database, theory)          # doctest: +SKIP
+>>> result.stopped_reason                          # doctest: +SKIP
+<StopReason.DEADLINE: 'deadline'>
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..runtime.guard import (
+    GUARD_REASONS,
+    StopReason,
+    fault_hook_installed,
+    set_fault_hook,
+)
+
+#: The guard names engines register under (``RuntimeGuard.from_config``'s
+#: ``engine`` argument) — the valid targets of :func:`inject_fault`.
+ENGINE_NAMES = ("chase", "rewrite", "fc-search", "pipeline")
+
+
+class FaultInjector:
+    """The hook object: counts checkpoints, trips at the K-th.
+
+    Attributes
+    ----------
+    engine:
+        Which engine's checkpoints count (others pass through).
+    reason:
+        The :class:`~repro.runtime.StopReason` to inject — one of the
+        guard reasons (``deadline``/``cancelled``/``memory``).
+    at_checkpoint:
+        1-based checkpoint index at which to trip; every checkpoint
+        from there on returns the reason (guards are sticky anyway).
+    calls:
+        Checkpoints observed for *engine* so far (diagnostic).
+    tripped:
+        Whether the fault has fired at least once.
+    """
+
+    __slots__ = ("engine", "reason", "at_checkpoint", "calls", "tripped")
+
+    def __init__(self, engine: str, reason: StopReason, at_checkpoint: int = 1):
+        self.engine = engine
+        self.reason = reason
+        self.at_checkpoint = at_checkpoint
+        self.calls = 0
+        self.tripped = False
+
+    def __call__(self, engine_name: str) -> "Optional[StopReason]":
+        if engine_name != self.engine:
+            return None
+        self.calls += 1
+        if self.calls >= self.at_checkpoint:
+            self.tripped = True
+            return self.reason
+        return None
+
+    def __repr__(self) -> str:
+        state = "tripped" if self.tripped else f"{self.calls} calls"
+        return (
+            f"FaultInjector({self.engine!r}, {self.reason.value!r}, "
+            f"at={self.at_checkpoint}, {state})"
+        )
+
+
+@contextmanager
+def inject_fault(
+    engine: str,
+    reason: "StopReason | str",
+    at_checkpoint: int = 1,
+) -> "Iterator[FaultInjector]":
+    """Trip *engine*'s guard with *reason* at its K-th checkpoint.
+
+    The hook is installed for the dynamic extent of the ``with`` block
+    and unconditionally removed on exit.  Only one injector can be
+    active at a time (the hook is process-wide); nesting raises.
+
+    Parameters
+    ----------
+    engine:
+        One of :data:`ENGINE_NAMES`.
+    reason:
+        A guard :class:`~repro.runtime.StopReason` (or its string
+        value): ``deadline``, ``cancelled``, or ``memory`` —
+        ``fixpoint`` and ``budget`` are decided by the engines
+        themselves and cannot be injected.
+    at_checkpoint:
+        1-based checkpoint index to trip at (default: the first).
+    """
+    if engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    stop = StopReason(reason)
+    if stop not in GUARD_REASONS:
+        raise ValueError(
+            f"only guard reasons can be injected "
+            f"({', '.join(r.value for r in GUARD_REASONS)}), got {stop.value!r}"
+        )
+    if at_checkpoint < 1:
+        raise ValueError(f"at_checkpoint must be >= 1, got {at_checkpoint}")
+    if fault_hook_installed():
+        raise RuntimeError("a fault injector is already active (no nesting)")
+    injector = FaultInjector(engine, stop, at_checkpoint)
+    set_fault_hook(injector)
+    try:
+        yield injector
+    finally:
+        set_fault_hook(None)
