@@ -43,6 +43,16 @@ pays the real deadline/RSS bookkeeping — and once with
 is a median overhead of at most 2% (``bar_pct`` in the payload);
 results must be identical between the modes.
 
+It also writes ``BENCH_store.json``: the fact-store backend scoreboard
+— the interned columnar backend (:mod:`repro.store`) against the dict
+backend on store-level workloads: bulk loading, join-plan scans, the
+copy-then-mutate branching pattern of fc-search, and the
+restriction-heavy flows of ptype computations.  Results are asserted
+equal across backends per workload; the acceptance bar (``bar_x``) is
+a >= 2x columnar speedup on the structural workloads (branching and
+restriction), where COW copies and shared relations beat the dict
+backend's per-fact index rebuilds.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
@@ -66,16 +76,21 @@ from repro.chase import ChaseConfig, ChaseStrategy, chase, seminaive_saturate
 from repro.fc import SearchConfig, legacy_search, search_finite_model
 from repro.lf import (
     HOM_STATS,
+    Atom,
+    Constant,
     ConjunctiveQuery,
     Variable,
+    Structure,
     atom,
     clear_plan_cache,
     homomorphisms,
     legacy_homomorphisms,
+    parse_query,
     planner_disabled,
     satisfies,
 )
 from repro.config import OnBudget
+from repro.store import ColumnarStructure
 from repro.rewriting import (
     RewriteConfig,
     clear_subsume_cache,
@@ -102,6 +117,11 @@ HOM_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hom.json"
 FC_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fc.json"
 REWRITE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_rewrite.json"
 GUARD_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_guard.json"
+STORE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+#: BENCH_store acceptance bar: columnar must be at least this much
+#: faster than dict on the structural workloads (branch, restrict).
+STORE_SPEEDUP_BAR_X = 2.0
 
 #: Never-tripping guard budgets: the guard is active (every checkpoint
 #: pays the deadline check and the periodic RSS poll) but cannot stop
@@ -475,6 +495,105 @@ def guard_entries(full, repeat):
     return entries, overheads
 
 
+def _store_database(nodes, edges):
+    """A multi-predicate database: E edges plus U/V unaries and T triples.
+
+    Mixed predicates and arities, so the branching workload's COW copy
+    has untouched relations to share and the index carries buckets of
+    every shape."""
+    db = random_edges_database(nodes, edges, seed=3)
+    for i in range(nodes):
+        db.add_fact(Atom("U", (Constant(f"v{i}"),)))
+        db.add_fact(Atom("V", (Constant(f"v{(i * 7) % nodes}"),)))
+    for i in range(edges):
+        db.add_fact(Atom("T", (
+            Constant(f"v{i % nodes}"),
+            Constant(f"v{(i * 3) % nodes}"),
+            Constant(f"v{(i * 11) % nodes}"),
+        )))
+    return db
+
+
+def store_entries(full, repeat):
+    """The BENCH_store backend scoreboard: (entries, speedups).
+
+    Each workload runs identically on the dict backend and on the
+    interned columnar backend (same facts, same operations, results
+    asserted equal), and the speedup block reports dict/columnar wall
+    ratios.  The structural workloads — ``branch`` (the copy-then-
+    mutate pattern of every fc-search node) and ``restrict`` (the
+    signature/element restrictions of ptype-style flows) — carry the
+    acceptance bar: the columnar backend's COW copies and shared
+    relations make them cheaper than the dict backend's per-fact index
+    rebuilds, not just faster by a constant."""
+    nodes, edges, branches, restrictions = (
+        (80, 560, 400, 200) if full else (60, 400, 200, 100))
+    base = _store_database(nodes, edges)
+    columnar = ColumnarStructure.from_structure(base)
+    assert columnar == base
+    entries = []
+    speedups = {}
+    scan_query = parse_query(
+        "E(x,y), E(y,z), E(z,w)", free=["x", "w"])
+    probe_query = parse_query("E(x,y), U(y), V(x)")
+    fact_list = base.sorted_facts()
+
+    def bulk_load(make):
+        def run():
+            return len(make(fact_list))
+        return run
+
+    def scan(structure):
+        def run():
+            return sum(1 for _ in homomorphisms(scan_query.atoms, structure))
+        return run
+
+    def branch(structure):
+        def run():
+            satisfied = 0
+            for i in range(branches):
+                child = structure.copy()
+                child.add_fact(Atom("U", (Constant(f"fresh{i}"),)))
+                if satisfies(child, probe_query):
+                    satisfied += 1
+            return satisfied
+        return run
+
+    def restrict(structure):
+        some = sorted(structure.domain(), key=str)[: nodes // 2]
+        def run():
+            kept = 0
+            for _ in range(restrictions):
+                kept += len(structure.restrict_signature(["E", "U"]))
+                kept += len(structure.restrict_elements(some))
+            return kept
+        return run
+
+    workloads = [
+        ("bulk-load", bulk_load(Structure), bulk_load(ColumnarStructure)),
+        ("scan-join", scan(base), scan(columnar)),
+        ("branch", branch(base), branch(columnar)),
+        ("restrict", restrict(base), restrict(columnar)),
+    ]
+    for name, on_dict, on_columnar in workloads:
+        clear_plan_cache()
+        dict_wall, dict_result = timed(on_dict, repeat)
+        clear_plan_cache()
+        columnar_wall, columnar_result = timed(on_columnar, repeat)
+        assert dict_result == columnar_result, (
+            name, dict_result, columnar_result)
+        for backend, wall in (("dict", dict_wall), ("columnar", columnar_wall)):
+            entries.append({
+                "workload": name,
+                "backend": backend,
+                "wall_s": round(wall, 6),
+                "result": dict_result,
+                "facts": len(base),
+            })
+        speedups[name] = round(dict_wall / max(columnar_wall, 1e-9), 2)
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -486,6 +605,7 @@ def main(argv=None):
     parser.add_argument("--fc-output", type=Path, default=FC_OUTPUT)
     parser.add_argument("--rewrite-output", type=Path, default=REWRITE_OUTPUT)
     parser.add_argument("--guard-output", type=Path, default=GUARD_OUTPUT)
+    parser.add_argument("--store-output", type=Path, default=STORE_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -620,6 +740,23 @@ def main(argv=None):
         print(f"guard overhead, {name}: {pct}% "
               f"(bar: {GUARD_OVERHEAD_BAR_PCT}%)")
     print(f"wrote {args.guard_output}")
+
+    store_entry_list, store_speedups = store_entries(args.full, args.repeat)
+    store_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "bar_x": STORE_SPEEDUP_BAR_X,
+        "entries": store_entry_list,
+        "speedups": store_speedups,
+    }
+    args.store_output.write_text(
+        json.dumps(store_payload, indent=2, sort_keys=True) + "\n")
+    for entry in store_entry_list:
+        print(f"{entry['workload']:>34} {entry['backend']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  result={entry['result']}")
+    for name, factor in store_speedups.items():
+        print(f"dict/columnar speedup, {name}: {factor}x")
+    print(f"wrote {args.store_output}")
     return 0
 
 

@@ -26,8 +26,9 @@ executable reproduction of every example in the paper.
 """
 
 from . import chase, classes, coloring, core, fc, lf, ptypes, rewriting
-from . import skeleton, transforms, vtdag, zoo
+from . import skeleton, store, transforms, vtdag, zoo
 from .config import BudgetedConfig, OnBudget
+from .store import ColumnarStructure, StoreBackend, ensure_backend
 from .lf import (
     Atom,
     ConjunctiveQuery,
@@ -51,12 +52,14 @@ __version__ = "1.0.0"
 __all__ = [
     "Atom",
     "BudgetedConfig",
+    "ColumnarStructure",
     "ConjunctiveQuery",
     "Constant",
     "Null",
     "OnBudget",
     "Rule",
     "Signature",
+    "StoreBackend",
     "Structure",
     "Theory",
     "UnionOfConjunctiveQueries",
@@ -65,6 +68,7 @@ __all__ = [
     "classes",
     "coloring",
     "core",
+    "ensure_backend",
     "fc",
     "lf",
     "parse_facts",
@@ -75,6 +79,7 @@ __all__ = [
     "ptypes",
     "rewriting",
     "skeleton",
+    "store",
     "transforms",
     "vtdag",
     "zoo",

@@ -64,6 +64,7 @@ from ..lf.plan import HOM_STATS
 from ..lf.rules import Rule, Theory
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null, NullFactory, Variable
+from ..store import ensure_backend
 from .results import ChaseResult
 from .seminaive import _delta_bindings
 from .stats import ChaseStats, RoundStats
@@ -392,7 +393,8 @@ def chase(
         config = ChaseConfig()
     config = config.with_overrides(**overrides)
 
-    working = database.copy()
+    # the working copy doubles as the backend-conversion point
+    working = ensure_backend(database, config.resolved_store())
     nulls = NullFactory.above(working.domain())
     fact_level: Dict[Atom, int] = {fact: 0 for fact in working.facts()}
     new_elements: List[Null] = []

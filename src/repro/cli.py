@@ -116,8 +116,13 @@ def _stats_dict(stats) -> "Optional[Dict[str, Any]]":
 
 
 def _guard_overrides(args) -> Dict[str, Any]:
-    """The runtime-guard config fields from the global CLI flags."""
-    return {"wall_ms": args.wall_ms, "max_rss_mb": args.max_rss_mb}
+    """The shared config fields from the global CLI flags (runtime
+    guards plus the fact-store backend)."""
+    return {
+        "wall_ms": args.wall_ms,
+        "max_rss_mb": args.max_rss_mb,
+        "store": args.store,
+    }
 
 
 def _stop_code(stopped_reason, default: int) -> int:
@@ -470,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rss-mb", type=float, default=argparse.SUPPRESS, metavar="MB",
         help="soft peak-RSS ceiling: stop cooperatively when crossed",
     )
+    global_flags.add_argument(
+        "--store", choices=["dict", "columnar"], default=argparse.SUPPRESS,
+        help="fact-store backend (default: $REPRO_STORE, else keep the "
+             "input's backend)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -492,6 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wall-ms", type=float, default=None,
                         help=argparse.SUPPRESS)
     parser.add_argument("--max-rss-mb", type=float, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--store", choices=["dict", "columnar"], default=None,
                         help=argparse.SUPPRESS)
     commands = parser.add_subparsers(dest="command", required=True)
 

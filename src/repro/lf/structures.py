@@ -49,6 +49,11 @@ class Structure:
         signature (or has the wrong arity) raises instead of enlarging.
     """
 
+    #: Class-level backend marker: the compiled matchers in
+    #: :mod:`repro.lf.plan` dispatch on it.  The interned columnar
+    #: backend (:class:`repro.store.ColumnarStructure`) sets it True.
+    is_columnar = False
+
     def __init__(
         self,
         facts: Iterable[Atom] = (),
@@ -105,11 +110,21 @@ class Structure:
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_pred.get(fact.pred, set()).discard(fact)
+        bucket = self._by_pred.get(fact.pred)
+        if bucket is not None:
+            bucket.discard(fact)
+            if not bucket:
+                # Prune emptied buckets: an earlier version kept them
+                # forever, and copy() cloned the husks into every
+                # descendant — memory bloat across COW search states.
+                del self._by_pred[fact.pred]
         for position, arg in enumerate(fact.args):
-            bucket = self._by_pred_pos.get((fact.pred, position, arg))
+            key = (fact.pred, position, arg)
+            bucket = self._by_pred_pos.get(key)
             if bucket is not None:
                 bucket.discard(fact)
+                if not bucket:
+                    del self._by_pred_pos[key]
         return True
 
     def _check_signature(self, fact: Atom) -> None:
@@ -134,6 +149,11 @@ class Structure:
     def signature(self) -> Signature:
         """The (possibly grown) ambient signature."""
         return self._signature
+
+    @property
+    def strict(self) -> bool:
+        """Whether unknown predicates are rejected instead of adopted."""
+        return self._strict
 
     def facts(self) -> FrozenSet[Atom]:
         """All facts, as a frozen set."""
@@ -276,7 +296,7 @@ class Structure:
         """
         wanted = set(elements) & self._domain
         kept = [f for f in self._facts if all(a in wanted for a in f.args)]
-        return Structure(kept, domain=wanted, signature=self._signature)
+        return self._from_validated(kept, wanted, self._signature, self._strict)
 
     def restrict_signature(self, names: Iterable[str]) -> "Structure":
         """``C ↾ Σ``: keep only facts of the given relations.
@@ -286,19 +306,23 @@ class Structure:
         """
         wanted = set(names)
         kept = [f for f in self._facts if f.pred in wanted]
-        return Structure(
-            kept,
-            domain=self._domain,
-            signature=self._signature.restrict_to(wanted),
+        return self._from_validated(
+            kept, set(self._domain), self._signature.restrict_to(wanted), self._strict
         )
 
     def contains_structure(self, other: "Structure") -> bool:
-        """The paper's ``C1 |= C2``: every fact of *other* is a fact here."""
-        return all(fact in self._facts for fact in other._facts)
+        """The paper's ``C1 |= C2``: every fact of *other* is a fact here.
+
+        Works across backends: *other* is iterated via the public
+        protocol rather than its private fact set.
+        """
+        return all(self.has_fact(fact) for fact in other)
 
     def same_facts(self, other: "Structure") -> bool:
         """Fact-set equality (ignores isolated domain elements)."""
-        return self._facts == other._facts
+        if len(self) != len(other):
+            return False
+        return all(self.has_fact(fact) for fact in other)
 
     # ------------------------------------------------------------------
     # Query satisfaction (delegates to the homomorphism engine)
@@ -316,6 +340,41 @@ class Structure:
     # ------------------------------------------------------------------
     # Copying and presentation
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_validated(
+        cls,
+        facts: Iterable[Atom],
+        domain: Set[Element],
+        signature: Signature,
+        strict: bool,
+    ) -> "Structure":
+        """Build a structure from facts that already passed validation.
+
+        The restriction operators and :meth:`copy` land here: their
+        facts were signature-checked when first added, so re-running
+        :meth:`_check_signature` per fact (as the constructor does) is
+        pure overhead.  Indexes are rebuilt directly.  *domain* is
+        owned by the new structure (callers pass a fresh set).
+        """
+        clone = object.__new__(Structure)
+        clone._facts = set()
+        clone._domain = domain
+        clone._by_pred = {}
+        clone._by_pred_pos = {}
+        clone._probe_count = 0
+        clone._strict = strict
+        clone._signature = signature
+        fact_set = clone._facts
+        by_pred = clone._by_pred
+        by_pred_pos = clone._by_pred_pos
+        for fact in facts:
+            fact_set.add(fact)
+            by_pred.setdefault(fact.pred, set()).add(fact)
+            for position, arg in enumerate(fact.args):
+                domain.add(arg)
+                by_pred_pos.setdefault((fact.pred, position, arg), set()).add(fact)
+        return clone
+
     def copy(self) -> "Structure":
         """An independent copy with the same facts, domain and signature.
 
@@ -324,13 +383,17 @@ class Structure:
         so re-validating them is pure overhead.  This is the branching
         cost of every search/chase state, hence the fast path.  The
         probe counter starts back at zero (see :attr:`index_probes`).
+        Empty buckets (impossible after the discard-time pruning, but
+        cheap to guard) are not carried over.
         """
         clone = Structure.__new__(Structure)
         clone._facts = set(self._facts)
         clone._domain = set(self._domain)
-        clone._by_pred = {pred: set(bucket) for pred, bucket in self._by_pred.items()}
+        clone._by_pred = {
+            pred: set(bucket) for pred, bucket in self._by_pred.items() if bucket
+        }
         clone._by_pred_pos = {
-            key: set(bucket) for key, bucket in self._by_pred_pos.items()
+            key: set(bucket) for key, bucket in self._by_pred_pos.items() if bucket
         }
         clone._probe_count = 0
         clone._strict = self._strict
@@ -343,8 +406,11 @@ class Structure:
 
     def __str__(self) -> str:
         shown = ", ".join(str(f) for f in self.sorted_facts()[:12])
-        suffix = ", ..." if len(self._facts) > 12 else ""
-        return f"Structure({len(self._facts)} facts, {len(self._domain)} elements: {shown}{suffix})"
+        suffix = ", ..." if len(self) > 12 else ""
+        return (
+            f"{type(self).__name__}({len(self)} facts, "
+            f"{self.domain_size} elements: {shown}{suffix})"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return str(self)
@@ -352,7 +418,20 @@ class Structure:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Structure):
             return NotImplemented
-        return self._facts == other._facts and self._domain == other._domain
+        return self.facts() == other.facts() and self.domain() == other.domain()
 
-    def __hash__(self) -> int:  # structures are mutable; identity hashing
-        return id(self)
+    # Structures are mutable containers with value equality; an earlier
+    # version paired that __eq__ with identity hashing, so two equal
+    # structures landed in different hash buckets and any set/dict keyed
+    # on structures silently admitted duplicates.  They are now
+    # explicitly unhashable — key on frozen_key() instead.
+    __hash__ = None  # type: ignore[assignment]
+
+    def frozen_key(self) -> Tuple[FrozenSet[Atom], FrozenSet[Element]]:
+        """An immutable, hashable snapshot of the structure's value.
+
+        Two structures compare equal (``a == b``) iff their frozen keys
+        are equal, so this is the supported way to key a set or dict on
+        a structure's current contents.
+        """
+        return (self.facts(), self.domain())

@@ -1,0 +1,65 @@
+"""The fact-store layer: pluggable backends behind one interface.
+
+The *FactStore interface* is the public protocol of
+:class:`~repro.lf.structures.Structure` — ``add_fact`` /
+``discard_fact``, the index views, the restriction operators, value
+``__eq__`` with :meth:`~repro.lf.structures.Structure.frozen_key`, and
+COW-friendly ``copy()``.  Two backends implement it:
+
+* the original dict/set-indexed :class:`~repro.lf.structures.Structure`
+  (``StoreBackend.DICT``), and
+* the interned columnar :class:`ColumnarStructure`
+  (``StoreBackend.COLUMNAR``), whose int columns the compiled matchers
+  in :mod:`repro.lf.plan` probe directly.
+
+Engines pick a backend through the ``store`` field every
+:class:`~repro.config.BudgetedConfig` carries (CLI: ``--store``;
+environment: ``REPRO_STORE``) and normalise their input with
+:func:`ensure_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lf.structures import Structure
+from .backend import STORE_ENV_VAR, StoreBackend, resolve_backend
+from .columnar import ColumnarStructure
+from .termtable import TermTable
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "StoreBackend",
+    "resolve_backend",
+    "ColumnarStructure",
+    "TermTable",
+    "ensure_backend",
+]
+
+
+def ensure_backend(
+    structure: Structure,
+    backend: Optional[StoreBackend],
+    copy: bool = True,
+) -> Structure:
+    """Return *structure* in the requested backend.
+
+    ``backend=None`` (no explicit choice, no ``REPRO_STORE``) keeps
+    whatever backend the input already uses.  When a conversion is
+    needed it reuses the already-validated facts, skipping per-fact
+    signature checks.  With *copy* true (the default) the result is
+    always an independent structure, so engines can substitute this
+    for their ``input.copy()`` step; with *copy* false the input
+    itself is returned when it already matches.
+    """
+    wants_columnar = backend is StoreBackend.COLUMNAR
+    if backend is None or wants_columnar == structure.is_columnar:
+        return structure.copy() if copy else structure
+    if wants_columnar:
+        return ColumnarStructure.from_structure(structure)
+    return Structure._from_validated(
+        list(structure),
+        set(structure.domain()),
+        structure.signature,
+        structure.strict,
+    )

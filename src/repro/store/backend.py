@@ -1,0 +1,72 @@
+"""Backend selection for the fact-store layer.
+
+Kept free of any ``repro`` imports so that :mod:`repro.config` (the
+shared engine-config base) can depend on it without creating a cycle
+through the structure/plan layer.
+
+Resolution order for the active backend (:func:`resolve_backend`):
+
+1. an explicit value on the config (``--store`` on the CLI, or the
+   ``store`` field of any :class:`~repro.config.BudgetedConfig`);
+2. the ``REPRO_STORE`` environment variable (how the CI matrix runs
+   the whole tier-1 suite against each backend);
+3. ``None`` — inherit whatever backend the input structure already
+   uses (the default: engines never convert behind the caller's back).
+"""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import Any, Optional
+
+#: Environment variable consulted when no explicit backend was chosen.
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+class StoreBackend(str, Enum):
+    """The two fact-store backends.
+
+    Attributes
+    ----------
+    DICT:
+        The original :class:`~repro.lf.structures.Structure`:
+        per-predicate and per-(predicate, position, element) hash
+        indexes of Python sets of :class:`~repro.lf.atoms.Atom`.
+    COLUMNAR:
+        :class:`~repro.store.ColumnarStructure`: terms interned to
+        dense ints in a per-store :class:`~repro.store.TermTable`,
+        relations stored as flat ``array('q')`` columns with
+        (position, value) hash-bucket indexes, matched by the
+        int-column probe loop in :mod:`repro.lf.plan`.
+    """
+
+    DICT = "dict"
+    COLUMNAR = "columnar"
+
+
+def resolve_backend(value: "Any" = None) -> Optional[StoreBackend]:
+    """Normalise *value* to a :class:`StoreBackend`, or ``None``.
+
+    ``None`` (no explicit choice) falls back to the ``REPRO_STORE``
+    environment variable; if that is unset or empty the result is
+    ``None``, meaning "inherit the input structure's backend".
+    Unrecognised names raise ``ValueError`` listing the alternatives.
+    """
+    if value is None:
+        value = os.environ.get(STORE_ENV_VAR) or None
+        if value is None:
+            return None
+    if isinstance(value, StoreBackend):
+        return value
+    if isinstance(value, str):
+        try:
+            return StoreBackend(value)
+        except ValueError:
+            allowed = ", ".join(repr(m.value) for m in StoreBackend)
+            raise ValueError(
+                f"store backend must be one of {allowed}, got {value!r}"
+            ) from None
+    raise ValueError(
+        f"store backend must be a StoreBackend (or its string value), got {value!r}"
+    )

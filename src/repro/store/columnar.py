@@ -1,0 +1,391 @@
+"""The interned columnar fact-store backend.
+
+A :class:`ColumnarStructure` stores each predicate's facts as flat
+``array('q')`` columns of term ids (interned once in the store's
+:class:`~repro.store.termtable.TermTable`), plus:
+
+* ``rows`` — a dict from the id-tuple of a live fact to its row id
+  (duplicate detection and ``has_fact`` in one hash lookup);
+* ``index`` — hash buckets ``(position, value id) -> [row keys]``, the
+  columnar analogue of the dict backend's
+  ``(predicate, position, element)`` index (the bucket entries alias
+  the ``rows`` key tuples, so matching reads boxed ints for free);
+* ``atoms`` — the original :class:`~repro.lf.atoms.Atom` objects,
+  parallel to the rows (``None`` marks a discarded row), so decoding a
+  match back to atoms is a list lookup, not an object rebuild.
+
+The compiled matchers in :mod:`repro.lf.plan` detect the backend via
+the ``is_columnar`` class attribute and run their probe loop directly
+over the int columns — comparing machine ints instead of hashing
+elements per candidate fact.
+
+``copy()`` is copy-on-write at per-relation granularity: a copy shares
+the term table and every relation object (both sides marked
+``shared``), and the first mutation of a predicate clones just that
+relation (:meth:`_Relation.clone` — an array-level copy, or a
+compacting rebuild when discarded rows have accumulated).  This is the
+branching cost every fc-search state pays, hence the care.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..lf.atoms import Atom
+from ..lf.signature import Signature
+from ..lf.structures import Structure
+from ..lf.terms import Element, Variable
+from .termtable import TermTable
+
+#: Shared empty view returned by index misses.
+_EMPTY: Tuple[Atom, ...] = ()
+
+
+class _Relation:
+    """One predicate's columnar storage.  See the module docstring.
+
+    The index buckets hold the row *key tuples* rather than row ids:
+    the matcher's inner loop then tests ``key[position] != vid`` — one
+    tuple index on already-boxed ints — instead of re-boxing a fresh
+    int out of an array per test.  The bucket entries alias the exact
+    tuple objects used as ``rows`` keys, so they cost one pointer each.
+    The ``array('q')`` columns remain the positional storage the views
+    and graph accessors read.
+    """
+
+    __slots__ = ("arity", "columns", "atoms", "rows", "index", "shared")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.columns: List[array] = [array("q") for _ in range(arity)]
+        self.atoms: List[Optional[Atom]] = []
+        self.rows: Dict[Tuple[int, ...], int] = {}
+        self.index: Dict[Tuple[int, int], List[Tuple[int, ...]]] = {}
+        self.shared = False
+
+    def clone(self) -> "_Relation":
+        """An unshared copy; compacts away discarded rows when any exist."""
+        new = _Relation.__new__(_Relation)
+        new.arity = self.arity
+        new.shared = False
+        if len(self.rows) == len(self.atoms):
+            # no tombstones: bulk array/dict copies (C speed)
+            new.columns = [array("q", column) for column in self.columns]
+            new.atoms = list(self.atoms)
+            new.rows = dict(self.rows)
+            new.index = {key: list(bucket) for key, bucket in self.index.items()}
+            return new
+        new.columns = [array("q") for _ in range(self.arity)]
+        new.atoms = []
+        new.rows = {}
+        new.index = {}
+        columns = new.columns
+        atoms = self.atoms
+        for key, rid in self.rows.items():
+            new_rid = len(new.atoms)
+            new.atoms.append(atoms[rid])
+            for position, vid in enumerate(key):
+                columns[position].append(vid)
+                new.index.setdefault((position, vid), []).append(key)
+            new.rows[key] = new_rid
+        return new
+
+    def add(self, key: Tuple[int, ...], fact: Atom) -> None:
+        """Append a new live row (caller has already checked ``rows``)."""
+        rid = len(self.atoms)
+        self.atoms.append(fact)
+        for position, vid in enumerate(key):
+            self.columns[position].append(vid)
+            self.index.setdefault((position, vid), []).append(key)
+        self.rows[key] = rid
+
+    def discard(self, key: Tuple[int, ...]) -> None:
+        """Tombstone the row for *key* (caller has checked it is live)."""
+        rid = self.rows.pop(key)
+        self.atoms[rid] = None
+        for position, vid in enumerate(key):
+            bucket_key = (position, vid)
+            bucket = self.index[bucket_key]
+            bucket.remove(key)
+            if not bucket:
+                del self.index[bucket_key]
+
+    def atom_of(self, key: Tuple[int, ...]) -> Atom:
+        """Decode a live row key back to its atom."""
+        return self.atoms[self.rows[key]]
+
+    def live_atoms(self) -> List[Atom]:
+        """The live facts, decoded (a fresh list)."""
+        atoms = self.atoms
+        return [atoms[rid] for rid in self.rows.values()]
+
+
+class ColumnarStructure(Structure):
+    """A :class:`~repro.lf.structures.Structure` with interned columnar
+    storage.
+
+    Drop-in semantically: same constructor signature, same public
+    protocol, same validation (signature growth, arity checks, strict
+    mode), value equality across backends.  Only the representation —
+    and therefore the performance profile — differs.
+    """
+
+    is_columnar = True
+
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        domain: Iterable[Element] = (),
+        signature: Optional[Signature] = None,
+        strict: bool = False,
+        table: Optional[TermTable] = None,
+    ):
+        self._table = table if table is not None else TermTable()
+        self._rels: Dict[str, _Relation] = {}
+        self._domain: Set[Element] = set(domain)
+        self._probe_count = 0
+        self._count = 0
+        self._strict = strict
+        self._signature = signature if signature is not None else Signature.make()
+        for fact in facts:
+            self.add_fact(fact)
+
+    @classmethod
+    def from_structure(cls, structure: Structure) -> "ColumnarStructure":
+        """Convert any backend's structure (facts already validated)."""
+        clone = cls(
+            domain=structure.domain(),
+            signature=structure.signature,
+            strict=structure.strict,
+        )
+        intern = clone._table.intern
+        rels = clone._rels
+        for fact in structure:
+            key = tuple(intern(arg) for arg in fact.args)
+            rel = rels.get(fact.pred)
+            if rel is None:
+                rel = _Relation(fact.arity)
+                rels[fact.pred] = rel
+            rel.add(key, fact)
+        clone._count = len(structure)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _writable(self, pred: str, arity: int) -> _Relation:
+        """The relation for *pred*, created or un-shared as needed."""
+        rel = self._rels.get(pred)
+        if rel is None:
+            rel = _Relation(arity)
+            self._rels[pred] = rel
+        elif rel.shared:
+            rel = rel.clone()
+            self._rels[pred] = rel
+        return rel
+
+    def add_fact(self, fact: Atom) -> bool:
+        for arg in fact.args:
+            if isinstance(arg, Variable):
+                raise ValueError(f"fact {fact} contains a variable")
+        intern = self._table.intern
+        key = tuple(intern(arg) for arg in fact.args)
+        rel = self._rels.get(fact.pred)
+        if rel is not None and key in rel.rows:
+            return False
+        self._check_signature(fact)
+        self._writable(fact.pred, fact.arity).add(key, fact)
+        self._domain.update(fact.args)
+        self._count += 1
+        return True
+
+    def discard_fact(self, fact: Atom) -> bool:
+        rel = self._rels.get(fact.pred)
+        if rel is None:
+            return False
+        try:
+            key = tuple(map(self._table._ids.__getitem__, fact.args))
+        except KeyError:
+            return False  # some argument interned nowhere
+        if key not in rel.rows:
+            return False
+        rel = self._writable(fact.pred, rel.arity)
+        rel.discard(key)
+        self._count -= 1
+        if not rel.rows:
+            # same pruning contract as the dict backend: no empty husks
+            del self._rels[fact.pred]
+        return True
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def facts(self) -> FrozenSet[Atom]:
+        return frozenset(self)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Atom]:
+        for rel in self._rels.values():
+            atoms = rel.atoms
+            for rid in rel.rows.values():
+                yield atoms[rid]
+
+    def has_fact(self, fact: Atom) -> bool:
+        rel = self._rels.get(fact.pred)
+        if rel is None or rel.arity != fact.arity:
+            return False
+        try:
+            return tuple(map(self._table._ids.__getitem__, fact.args)) in rel.rows
+        except KeyError:
+            return False  # some argument interned nowhere
+
+    __contains__ = has_fact
+
+    def facts_with_pred_view(self, pred: str) -> Tuple[Atom, ...]:
+        """All facts of *pred*, decoded.  Same read-only contract as the
+        dict backend's view (here the tuple is a fresh decode, so the
+        planned matcher uses the int columns directly instead)."""
+        self._probe_count += 1
+        rel = self._rels.get(pred)
+        if rel is None:
+            return _EMPTY
+        return tuple(rel.live_atoms())
+
+    def facts_with_view(
+        self, pred: str, position: int, element: Element
+    ) -> Tuple[Atom, ...]:
+        self._probe_count += 1
+        rel = self._rels.get(pred)
+        if rel is None or position >= rel.arity:
+            return _EMPTY
+        vid = self._table.id_of(element)
+        if vid is None:
+            return _EMPTY
+        bucket = rel.index.get((position, vid))
+        if not bucket:
+            return _EMPTY
+        atoms = rel.atoms
+        rows = rel.rows
+        return tuple(atoms[rows[key]] for key in bucket)
+
+    def pred_size(self, pred: str) -> int:
+        rel = self._rels.get(pred)
+        return len(rel.rows) if rel is not None else 0
+
+    def facts_about(self, element: Element) -> FrozenSet[Atom]:
+        vid = self._table.id_of(element)
+        if vid is None:
+            return frozenset()
+        found: Set[Atom] = set()
+        for rel in self._rels.values():
+            atoms = rel.atoms
+            rows = rel.rows
+            for position in range(rel.arity):
+                bucket = rel.index.get((position, vid))
+                if bucket:
+                    found.update(atoms[rows[key]] for key in bucket)
+        return frozenset(found)
+
+    def predicates_in_use(self) -> FrozenSet[str]:
+        return frozenset(self._rels)
+
+    def successors(
+        self, element: Element, pred: Optional[str] = None
+    ) -> FrozenSet[Element]:
+        preds = [pred] if pred is not None else sorted(self._signature.binary_relations())
+        vid = self._table.id_of(element)
+        if vid is None:
+            return frozenset()
+        found: Set[Element] = set()
+        decode = self._table.element
+        for name in preds:
+            rel = self._rels.get(name)
+            if rel is None or rel.arity != 2:
+                continue
+            for key in rel.index.get((0, vid), ()):
+                found.add(decode(key[1]))
+        return frozenset(found)
+
+    def predecessors(
+        self, element: Element, pred: Optional[str] = None
+    ) -> FrozenSet[Element]:
+        preds = [pred] if pred is not None else sorted(self._signature.binary_relations())
+        vid = self._table.id_of(element)
+        if vid is None:
+            return frozenset()
+        found: Set[Element] = set()
+        decode = self._table.element
+        for name in preds:
+            rel = self._rels.get(name)
+            if rel is None or rel.arity != 2:
+                continue
+            for key in rel.index.get((1, vid), ()):
+                found.add(decode(key[0]))
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # Restrictions
+    # ------------------------------------------------------------------
+    def _empty_like(self, signature: Signature, domain: Set[Element]) -> "ColumnarStructure":
+        clone = ColumnarStructure.__new__(ColumnarStructure)
+        clone._table = self._table  # append-only, safe to share
+        clone._rels = {}
+        clone._domain = domain
+        clone._probe_count = 0
+        clone._count = 0
+        clone._strict = self._strict
+        clone._signature = signature
+        return clone
+
+    def restrict_elements(self, elements: Iterable[Element]) -> "ColumnarStructure":
+        wanted = set(elements) & self._domain
+        id_of = self._table.id_of
+        wanted_ids = {vid for vid in map(id_of, wanted) if vid is not None}
+        clone = self._empty_like(self._signature, wanted)
+        count = 0
+        for pred, rel in self._rels.items():
+            new_rel: Optional[_Relation] = None
+            atoms = rel.atoms
+            for key, rid in rel.rows.items():
+                if all(vid in wanted_ids for vid in key):
+                    if new_rel is None:
+                        new_rel = _Relation(rel.arity)
+                        clone._rels[pred] = new_rel
+                    new_rel.add(key, atoms[rid])
+                    count += 1
+        clone._count = count
+        return clone
+
+    def restrict_signature(self, names: Iterable[str]) -> "ColumnarStructure":
+        wanted = set(names)
+        clone = self._empty_like(
+            self._signature.restrict_to(wanted), set(self._domain)
+        )
+        count = 0
+        for pred, rel in self._rels.items():
+            if pred in wanted:
+                rel.shared = True  # shared with the restriction (COW)
+                clone._rels[pred] = rel
+                count += len(rel.rows)
+        clone._count = count
+        return clone
+
+    # ------------------------------------------------------------------
+    # Copying and presentation
+    # ------------------------------------------------------------------
+    def copy(self) -> "ColumnarStructure":
+        """A copy-on-write copy: shares the term table and every
+        relation; the first mutation of a predicate (on either side)
+        clones just that relation.  The probe counter restarts."""
+        clone = self._empty_like(self._signature, set(self._domain))
+        for rel in self._rels.values():
+            rel.shared = True
+        clone._rels = dict(self._rels)
+        clone._count = self._count
+        return clone
+
+    def sorted_facts(self) -> List[Atom]:
+        return sorted(self, key=lambda f: (f.pred, tuple(map(str, f.args))))

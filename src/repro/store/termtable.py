@@ -1,0 +1,67 @@
+"""Term interning: elements to dense ints and back.
+
+A :class:`TermTable` is the per-store dictionary mapping domain
+elements (:class:`~repro.lf.terms.Constant` /
+:class:`~repro.lf.terms.Null`) to dense non-negative ints, so the
+columnar relations and the compiled matchers can work on machine
+integers instead of hashing Python objects per candidate fact.
+
+The table is **append-only**: an element's id never changes and ids
+are never reused.  That makes it safe to *share* one table across an
+entire ``copy()`` family of structures (every fc-search branch, every
+chase round): a child interning a new null appends to the shared
+table, which cannot invalidate any id a sibling already stored in its
+columns.  Unused entries waste only a dict slot and a list slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..lf.terms import Element
+
+
+class TermTable:
+    """A bidirectional, append-only Element <-> dense-int map.
+
+    ``_plans`` is the columnar matcher's per-table translation cache
+    (:meth:`repro.lf.plan.QueryPlan._bindings_columnar`): a compiled
+    plan's element-space check sets translated to id space are valid
+    forever once every constant resolved — ids never change — so they
+    are memoised here as ``id(plan) -> (plan, translated steps or
+    None, table length at translation)``.  A ``None`` translation
+    (some constant had no id, so the plan is unmatchable) is rechecked
+    only after the table has grown.  The entry holds the plan itself
+    so its ``id`` cannot be recycled while the entry lives.
+    """
+
+    __slots__ = ("_ids", "_elements", "_plans")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Element, int] = {}
+        self._elements: List[Element] = []
+        self._plans: Dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def intern(self, element: Element) -> int:
+        """The element's id, allocating the next dense int if new."""
+        eid = self._ids.get(element)
+        if eid is None:
+            eid = len(self._elements)
+            self._elements.append(element)
+            self._ids[element] = eid
+        return eid
+
+    def id_of(self, element: Element) -> Optional[int]:
+        """The element's id, or ``None`` if it was never interned.
+
+        The read-only probe used by lookups: a miss means the element
+        occurs in no fact of any structure sharing this table.
+        """
+        return self._ids.get(element)
+
+    def element(self, eid: int) -> Element:
+        """Decode an id back to its element."""
+        return self._elements[eid]

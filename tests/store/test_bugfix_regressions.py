@@ -1,0 +1,150 @@
+"""Regression tests for the three Structure bugfixes that shipped with
+the fact-store layer:
+
+1. value ``__eq__`` paired with identity ``__hash__`` (equal
+   structures landed in different hash buckets) — structures are now
+   explicitly unhashable, with ``frozen_key()`` as the supported key;
+2. ``discard_fact`` leaked empty index buckets forever, and ``copy()``
+   cloned the husks into every descendant;
+3. ``restrict_elements`` / ``restrict_signature`` re-validated every
+   already-validated fact via ``add_fact``.
+"""
+
+import pytest
+
+from repro.lf import Atom, Constant, Structure, parse_structure
+from repro.store import ColumnarStructure
+
+
+def a(name):
+    return Constant(name)
+
+
+def E(x, y):
+    return Atom("E", (a(x), a(y)))
+
+
+def U(x):
+    return Atom("U", (a(x),))
+
+
+BACKENDS = [
+    lambda text: parse_structure(text),
+    lambda text: ColumnarStructure.from_structure(parse_structure(text)),
+]
+
+
+class TestHashEqContract:
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_structures_are_unhashable(self, make):
+        s = make("E(a,b)")
+        with pytest.raises(TypeError):
+            hash(s)
+        with pytest.raises(TypeError):
+            {s}
+        with pytest.raises(TypeError):
+            {s: 1}
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_frozen_key_consistent_with_eq(self, make):
+        # the old bug: a == b but hash(a) != hash(b), so sets keyed on
+        # structures admitted duplicates.  The contract is now: equal
+        # structures have equal (and equal-hashing) frozen keys.
+        one = make("E(a,b), U(a)")
+        two = make("U(a), E(a,b)")
+        assert one == two
+        assert one.frozen_key() == two.frozen_key()
+        assert hash(one.frozen_key()) == hash(two.frozen_key())
+        assert len({one.frozen_key(), two.frozen_key()}) == 1
+
+    def test_frozen_key_matches_across_backends(self):
+        d = parse_structure("E(a,b), U(a)")
+        c = ColumnarStructure.from_structure(d)
+        assert d == c
+        assert d.frozen_key() == c.frozen_key()
+        assert hash(d.frozen_key()) == hash(c.frozen_key())
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_frozen_key_diverges_with_value(self, make):
+        s = make("E(a,b)")
+        key_before = s.frozen_key()
+        s.add_fact(E("b", "c"))
+        assert s.frozen_key() != key_before
+
+
+class TestBucketPruning:
+    def test_discard_prunes_empty_buckets(self):
+        s = Structure([E("a", "b"), U("a")])
+        s.discard_fact(E("a", "b"))
+        assert "E" not in s._by_pred
+        assert all("E" != pred for pred, _, _ in s._by_pred_pos)
+        # partial removal keeps the predicate's remaining buckets
+        s2 = Structure([E("a", "b"), E("a", "c")])
+        s2.discard_fact(E("a", "b"))
+        assert len(s2._by_pred["E"]) == 1
+        assert ("E", 1, a("b")) not in s2._by_pred_pos
+        assert ("E", 0, a("a")) in s2._by_pred_pos
+
+    def test_copy_carries_no_empty_buckets(self):
+        s = Structure([E("a", "b"), E("c", "d"), U("a")])
+        s.discard_fact(E("a", "b"))
+        s.discard_fact(U("a"))
+        clone = s.copy()
+        assert all(clone._by_pred.values())
+        assert all(clone._by_pred_pos.values())
+        assert "U" not in clone._by_pred
+
+    def test_discard_heavy_loop_leaves_no_residue(self):
+        s = Structure([])
+        for i in range(50):
+            s.add_fact(Atom("E", (a(f"x{i}"), a(f"y{i}"))))
+        for i in range(50):
+            s.discard_fact(Atom("E", (a(f"x{i}"), a(f"y{i}"))))
+        assert len(s) == 0
+        assert s._by_pred == {}
+        assert s._by_pred_pos == {}
+
+    def test_columnar_discard_prunes_relation_and_buckets(self):
+        c = ColumnarStructure([E("a", "b"), E("a", "c")])
+        c.discard_fact(E("a", "b"))
+        rel = c._rels["E"]
+        assert all(rel.index.values())
+        c.discard_fact(E("a", "c"))
+        assert "E" not in c._rels
+
+
+class TestRestrictionFastPath:
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_restrictions_skip_revalidation(self, make, monkeypatch):
+        # the regression benchmark assertion: restriction must not
+        # re-run per-fact signature validation (the facts already
+        # passed it when first added), so a poisoned _check_signature
+        # must never fire during restrict_*.
+        s = make("E(a,b), E(b,c), U(a), U(b)")
+
+        def boom(fact):
+            raise AssertionError(f"restriction re-validated {fact}")
+
+        monkeypatch.setattr(type(s), "_check_signature", lambda self, fact: boom(fact))
+        by_elements = s.restrict_elements([a("a"), a("b")])
+        by_signature = s.restrict_signature(["U"])
+        assert by_elements.facts() == {E("a", "b"), U("a"), U("b")}
+        assert by_signature.facts() == {U("a"), U("b")}
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_restriction_semantics_unchanged(self, make):
+        s = make("E(a,b), E(b,c), E(c,a), U(b)")
+        r = s.restrict_elements([a("a"), a("b")])
+        assert r.facts() == {E("a", "b"), U("b")}
+        assert r.domain() == {a("a"), a("b")}
+        rs = s.restrict_signature(["E"])
+        assert rs.facts() == {E("a", "b"), E("b", "c"), E("c", "a")}
+        assert rs.domain() == s.domain()
+        assert set(rs.signature.relations) == {"E"}
+
+    @pytest.mark.parametrize("make", BACKENDS)
+    def test_restricted_structures_stay_mutable(self, make):
+        r = make("E(a,b), U(a)").restrict_signature(["E"])
+        assert r.add_fact(E("b", "c"))
+        assert r.discard_fact(E("a", "b"))
+        assert r.facts() == {E("b", "c")}

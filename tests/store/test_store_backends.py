@@ -1,0 +1,208 @@
+"""Unit tests of the fact-store layer: TermTable, ColumnarStructure,
+backend selection, and cross-backend protocol equivalence."""
+
+import pytest
+
+from repro.chase import ChaseConfig, chase
+from repro.lf import Atom, Constant, Null, parse_structure, parse_theory
+from repro.store import (
+    STORE_ENV_VAR,
+    ColumnarStructure,
+    StoreBackend,
+    TermTable,
+    ensure_backend,
+    resolve_backend,
+)
+
+
+def a(name):
+    return Constant(name)
+
+
+def E(x, y):
+    return Atom("E", (a(x), a(y)))
+
+
+def U(x):
+    return Atom("U", (a(x),))
+
+
+class TestTermTable:
+    def test_intern_is_stable_and_dense(self):
+        table = TermTable()
+        ids = [table.intern(a("x")), table.intern(a("y")), table.intern(a("x"))]
+        assert ids == [0, 1, 0]
+        assert len(table) == 2
+        assert table.element(0) == a("x")
+        assert table.element(1) == a("y")
+
+    def test_id_of_miss_is_none(self):
+        table = TermTable()
+        table.intern(a("x"))
+        assert table.id_of(a("x")) == 0
+        assert table.id_of(a("zz")) is None
+
+    def test_nulls_and_constants_do_not_collide(self):
+        table = TermTable()
+        i = table.intern(Constant("n0"))
+        j = table.intern(Null(0))
+        assert i != j
+
+
+class TestColumnarStructure:
+    def test_add_and_dedup(self):
+        s = ColumnarStructure()
+        assert s.add_fact(E("a", "b"))
+        assert not s.add_fact(E("a", "b"))
+        assert len(s) == 1
+        assert s.has_fact(E("a", "b"))
+        assert not s.has_fact(E("b", "a"))
+
+    def test_views_match_dict_backend(self):
+        text = "E(a,b), E(b,c), E(a,c), U(a), R(a,b,c)"
+        d = parse_structure(text)
+        c = ColumnarStructure.from_structure(d)
+        assert set(c.facts_with_pred_view("E")) == set(d.facts_with_pred_view("E"))
+        assert set(c.facts_with_view("E", 0, a("a"))) == set(
+            d.facts_with_view("E", 0, a("a"))
+        )
+        assert c.facts_with_pred("missing") == frozenset()
+        assert c.pred_size("E") == 3
+        assert c.facts_about(a("a")) == d.facts_about(a("a"))
+        assert c.successors(a("a")) == d.successors(a("a"))
+        assert c.predecessors(a("c")) == d.predecessors(a("c"))
+        assert c.predicates_in_use() == d.predicates_in_use()
+        assert c.domain() == d.domain()
+        assert sorted(map(str, c.sorted_facts())) == sorted(map(str, d.sorted_facts()))
+
+    def test_discard_tombstones_and_prunes(self):
+        c = ColumnarStructure([E("a", "b"), E("b", "c"), U("a")])
+        assert c.discard_fact(E("a", "b"))
+        assert not c.discard_fact(E("a", "b"))
+        assert not c.discard_fact(Atom("E", (a("zz"), a("zz"))))
+        assert len(c) == 2
+        assert not c.has_fact(E("a", "b"))
+        assert c.facts() == {E("b", "c"), U("a")}
+        assert c.discard_fact(U("a"))
+        assert "U" not in c.predicates_in_use()
+        # domain is never shrunk by discards (same contract as dict)
+        assert a("a") in c.domain()
+
+    def test_copy_is_cow_and_independent(self):
+        base = ColumnarStructure([E("a", "b"), U("a")])
+        left = base.copy()
+        right = base.copy()
+        left.add_fact(E("b", "c"))
+        right.discard_fact(U("a"))
+        assert base.facts() == {E("a", "b"), U("a")}
+        assert left.facts() == {E("a", "b"), U("a"), E("b", "c")}
+        assert right.facts() == {E("a", "b")}
+        # the untouched relation object is still physically shared
+        assert left._rels["U"] is base._rels["U"]
+
+    def test_copy_after_discard_compacts(self):
+        base = ColumnarStructure([E("a", "b"), E("b", "c"), E("c", "d")])
+        base.discard_fact(E("b", "c"))
+        clone = base.copy()
+        clone.add_fact(E("x", "y"))  # forces the COW clone of E
+        rel = clone._rels["E"]
+        assert len(rel.atoms) == len(rel.rows)  # no tombstones survived
+        assert clone.facts() == {E("a", "b"), E("c", "d"), E("x", "y")}
+
+    def test_restrict_elements(self):
+        c = ColumnarStructure([E("a", "b"), E("b", "c"), U("a")])
+        r = c.restrict_elements([a("a"), a("b")])
+        assert r.is_columnar
+        assert r.facts() == {E("a", "b"), U("a")}
+        assert r.domain() == {a("a"), a("b")}
+
+    def test_restrict_signature_shares_relations(self):
+        c = ColumnarStructure([E("a", "b"), U("a")])
+        r = c.restrict_signature(["E"])
+        assert r.is_columnar
+        assert r.facts() == {E("a", "b")}
+        assert r.domain() == c.domain()
+        # COW: mutating either side afterwards does not leak across
+        c.add_fact(E("b", "a"))
+        assert r.facts() == {E("a", "b")}
+
+    def test_strict_mode_and_arity_validation(self):
+        from repro.errors import ArityError, SignatureError
+
+        c = ColumnarStructure([E("a", "b")])
+        with pytest.raises(ArityError):
+            c.add_fact(Atom("E", (a("a"),)))
+        strict = ColumnarStructure(signature=c.signature, strict=True)
+        with pytest.raises(SignatureError):
+            strict.add_fact(Atom("Brand", (a("a"),)))
+
+    def test_variables_rejected(self):
+        from repro.lf import Variable
+
+        c = ColumnarStructure()
+        with pytest.raises(ValueError):
+            c.add_fact(Atom("E", (Variable("x"), a("b"))))
+
+    def test_cross_backend_equality_and_containment(self):
+        d = parse_structure("E(a,b), U(a)")
+        c = ColumnarStructure.from_structure(d)
+        assert c == d and d == c
+        assert c.same_facts(d) and d.same_facts(c)
+        assert c.contains_structure(d) and d.contains_structure(c)
+        assert c.frozen_key() == d.frozen_key()
+        c.add_fact(E("b", "c"))
+        assert c != d
+        assert not c.same_facts(d)
+        assert c.contains_structure(d)
+        assert not d.contains_structure(c)
+
+
+class TestBackendSelection:
+    def test_resolve_explicit(self):
+        assert resolve_backend("columnar") is StoreBackend.COLUMNAR
+        assert resolve_backend(StoreBackend.DICT) is StoreBackend.DICT
+        with pytest.raises(ValueError):
+            resolve_backend("rowwise")
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert resolve_backend() is None
+        monkeypatch.setenv(STORE_ENV_VAR, "columnar")
+        assert resolve_backend() is StoreBackend.COLUMNAR
+        # explicit choice wins over the environment
+        assert resolve_backend("dict") is StoreBackend.DICT
+        monkeypatch.setenv(STORE_ENV_VAR, "")
+        assert resolve_backend() is None
+
+    def test_ensure_backend_converts_and_copies(self):
+        d = parse_structure("E(a,b), E(b,c)")
+        kept = ensure_backend(d, None)
+        assert not kept.is_columnar and kept is not d and kept == d
+        c = ensure_backend(d, StoreBackend.COLUMNAR)
+        assert c.is_columnar and c == d
+        back = ensure_backend(c, StoreBackend.DICT)
+        assert not back.is_columnar and back == d
+        same = ensure_backend(c, StoreBackend.COLUMNAR, copy=False)
+        assert same is c
+
+    def test_config_store_field_coerces_strings(self):
+        config = ChaseConfig(store="columnar")
+        assert config.store is StoreBackend.COLUMNAR
+        with pytest.raises(ValueError):
+            ChaseConfig(store="rowwise")
+
+    def test_chase_converts_working_copy(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        theory = parse_theory("E(x,y), E(y,z) -> E(x,z)")
+        d = parse_structure("E(a,b), E(b,c), E(c,d)")
+        result = chase(d, theory, ChaseConfig(store="columnar"))
+        assert result.structure.is_columnar
+        baseline = chase(d, theory, ChaseConfig())
+        assert not baseline.structure.is_columnar
+        assert result.structure.same_facts(baseline.structure)
+
+    def test_env_var_drives_engines(self, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, "columnar")
+        theory = parse_theory("E(x,y), E(y,z) -> E(x,z)")
+        result = chase(parse_structure("E(a,b), E(b,c)"), theory, ChaseConfig())
+        assert result.structure.is_columnar
