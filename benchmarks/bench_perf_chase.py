@@ -60,3 +60,39 @@ def test_strategy_on_deep_recursive_chain(benchmark, strategy):
     benchmark.extra_info["index_probes"] = result.stats.index_probes
     benchmark.extra_info["facts"] = len(result.structure)
     assert result.depth == 40
+
+
+@pytest.mark.parametrize("delta_size,churn", [(1, 0.5), (4, 0.5), (1, 0.0)])
+def test_streaming_churn_incremental(benchmark, delta_size, churn):
+    """Streaming churn: maintain a TC view under insert/retract batches.
+
+    The workload the incremental view exists for — small deltas against
+    a large settled fixpoint.  The same stream feeds the smoke
+    benchmark's incremental-vs-rechase comparison (BENCH_incr.json);
+    the dials cover single-op and batched deltas plus a pure-insert
+    stream.
+    """
+    from repro.chase import ChaseView, IncrementalConfig
+    from repro.zoo import churn_stream
+
+    theory = transitive_theory()
+    database = random_edges_database(30, 60, seed=11)
+    stream = churn_stream(
+        database, batches=10, delta_size=delta_size, churn=churn, seed=11
+    )
+
+    def run():
+        view = ChaseView(database, theory, IncrementalConfig(max_depth=None))
+        for adds, removes in stream:
+            view.update(adds=adds, removes=removes)
+        return view
+
+    view = benchmark(run)
+    benchmark.extra_info["delta_size"] = delta_size
+    benchmark.extra_info["churn"] = churn
+    benchmark.extra_info["facts"] = len(view)
+    benchmark.extra_info["overdeleted"] = sum(
+        s.overdeleted for s in view.update_stats
+    )
+    benchmark.extra_info["rederived"] = sum(s.rederived for s in view.update_stats)
+    assert view.saturated

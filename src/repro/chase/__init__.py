@@ -28,10 +28,20 @@ from .engine import (
     violations,
 )
 from .levels import chase_levels, observed_derivation_depth, query_depth_profile
-from .provenance import Derivation, deepest_derivation, explain, explain_all
+from .provenance import (
+    DEFAULT_MAX_SUPPORTS,
+    Derivation,
+    Support,
+    SupportStore,
+    alternative_derivations,
+    deepest_derivation,
+    explain,
+    explain_all,
+)
 from .results import ChaseResult
 from .seminaive import incremental_datalog_saturate, seminaive_saturate
-from .stats import ChaseStats, RoundStats
+from .stats import ChaseStats, IncrStats, RoundStats
+from .view import ChaseView, IncrementalConfig, UpdateResult, ViewAnswer, chase_view
 from .termination import (
     DependencyGraph,
     dependency_graph,
@@ -45,9 +55,18 @@ __all__ = [
     "ChaseResult",
     "ChaseStats",
     "ChaseStrategy",
+    "ChaseView",
+    "DEFAULT_MAX_SUPPORTS",
     "DependencyGraph",
     "Derivation",
+    "IncrStats",
+    "IncrementalConfig",
     "RoundStats",
+    "Support",
+    "SupportStore",
+    "UpdateResult",
+    "ViewAnswer",
+    "alternative_derivations",
     "certain_answers",
     "certain_boolean",
     "certain_report",
@@ -55,6 +74,7 @@ __all__ = [
     "chase_entails",
     "chase_levels",
     "chase_step",
+    "chase_view",
     "chase_with_embargo",
     "datalog_saturate",
     "deepest_derivation",

@@ -65,6 +65,7 @@ from ..lf.rules import Rule, Theory
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null, NullFactory, Variable
 from ..store import ensure_backend
+from .provenance import DEFAULT_MAX_SUPPORTS, SupportStore
 from .results import ChaseResult
 from .seminaive import _delta_bindings
 from .stats import ChaseStats, RoundStats
@@ -109,9 +110,16 @@ class ChaseConfig(BudgetedConfig):
         raises :class:`~repro.errors.ChaseBudgetExceeded`.  The legacy
         strings ``"return"``/``"raise"`` still work (deprecated).
     trace:
-        Record, for every derived fact, the rule and the premise facts
-        that produced it (see :mod:`repro.chase.provenance`).  Off by
+        Record, for every derived fact, the rules and premise facts
+        that produced it — *all* distinct derivations up to
+        :attr:`max_supports` per fact, not just the first (see
+        :class:`~repro.chase.provenance.SupportStore`).  Off by
         default — it costs memory proportional to the run.
+    max_supports:
+        Bound on distinct supports recorded per fact when tracing
+        (default :data:`~repro.chase.provenance.DEFAULT_MAX_SUPPORTS`).
+        The incremental view (:mod:`repro.chase.view`) raises or lowers
+        it to trade rederive coverage against trace memory.
     strategy:
         ``"delta"`` (default) or ``"naive"`` — see the module docstring.
         Both produce identical results; naive exists for ablations.
@@ -125,12 +133,15 @@ class ChaseConfig(BudgetedConfig):
     on_budget: OnBudget = OnBudget.RETURN
     trace: bool = False
     strategy: ChaseStrategy = ChaseStrategy.DELTA
+    max_supports: int = DEFAULT_MAX_SUPPORTS
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self.strategy = ChaseStrategy.coerce(self.strategy)
         if self.max_depth is None and self.max_facts is None and self.max_elements is None:
             raise ValueError("at least one budget must be set (the chase may diverge)")
+        if self.max_supports < 1:
+            raise ValueError(f"max_supports must be >= 1, got {self.max_supports}")
 
     @property
     def effective_strategy(self) -> ChaseStrategy:
@@ -198,6 +209,53 @@ def _canonical_key_order(key: tuple) -> "Tuple[str, ...]":
     return tuple(str(part) for part in key)
 
 
+def _head_delta_bindings(
+    rule: Rule,
+    structure: Structure,
+    lost_by_pred: "Dict[str, List[Atom]]",
+) -> "Iterator[Dict[Variable, Element]]":
+    """Goal-directed body matches: triggers whose head could hit a lost fact.
+
+    For each head atom and each lost fact of its predicate, unify the
+    head's *universal* positions against the fact (existential
+    positions are unconstrained — any witness of the same frontier is
+    the same trigger) and enumerate the body under the resulting
+    partial binding.  This recovers exactly the triggers a deletion can
+    have re-violated: datalog matches whose head fact died, and
+    existential matches whose suppressing witness died.  Triggers
+    enabled by facts this pass *re-produces* are caught afterwards by
+    the ordinary delta resume, so one pass suffices.
+    """
+    existentials = rule.existential_variables()
+    seen: Set[tuple] = set()
+    for head in rule.head:
+        for fact in lost_by_pred.get(head.pred, ()):
+            if fact.arity != head.arity:
+                continue
+            binding: Dict[Variable, Element] = {}
+            consistent = True
+            for arg, value in zip(head.args, fact.args):
+                if isinstance(arg, Variable):
+                    if arg in existentials:
+                        continue
+                    if binding.setdefault(arg, value) != value:
+                        consistent = False
+                        break
+                elif arg != value:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            for full in homomorphisms(rule.body, structure, binding):
+                fingerprint = tuple(
+                    sorted((var.name, val) for var, val in full.items())
+                )
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+                yield full
+
+
 #: A trigger demanding a witness: (rule index, rule, body binding).
 _Demand = Tuple[int, Rule, Dict[Variable, Element]]
 
@@ -213,10 +271,12 @@ def _evaluate_round(
     nulls: NullFactory,
     level: int,
     config: ChaseConfig,
-    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]",
+    provenance: "Optional[SupportStore]",
     delta: "Optional[Sequence[Atom]]",
     stats: RoundStats,
     guard: RuntimeGuard = NULL_GUARD,
+    rule_indices: "Optional[Sequence[int]]" = None,
+    head_delta: "Optional[Dict[str, List[Atom]]]" = None,
 ) -> Tuple[List[Atom], List[Null]]:
     """One parallel round (``Chase^1``) against the round-start state.
 
@@ -238,6 +298,14 @@ def _evaluate_round(
     :class:`~repro.runtime.GuardTripped` *before* any buffered fact is
     inserted, so the caller's structure still holds exactly the last
     completed round.
+
+    *rule_indices* restricts enumeration to the given rules of the
+    theory (the incremental view's DRed fallback round evaluates only
+    rules whose head predicate lost facts).  Indices stay relative to
+    the full theory, so provenance records and witness keys are
+    identical to a full round's.  *head_delta* switches those rules to
+    goal-directed enumeration against the lost facts
+    (:func:`_head_delta_bindings`) instead of a full body sweep.
     """
     produced: List[Atom] = []
     produced_set: Set[Atom] = set()
@@ -246,15 +314,28 @@ def _evaluate_round(
     oblivious_serial = 0
 
     def record(fact: Atom, rule_index: int, rule: Rule, binding) -> None:
-        if provenance is not None and fact not in provenance:
-            premises = tuple(
-                a.substitute(binding) for a in rule.body if not a.is_equality
-            )
-            provenance[fact] = (rule_index, premises)
+        # Multi-support: every derivation event is offered, including
+        # re-derivations of facts that already exist — the SupportStore
+        # dedupes and bounds them.  Alternative supports are what let
+        # the incremental view (repro.chase.view) rederive cheaply
+        # after a deletion instead of falling back to a rechase.
+        if provenance.at_capacity(fact):
+            return  # skip the premise substitution for saturated facts
+        premises = tuple(
+            a.substitute(binding) for a in rule.body if not a.is_equality
+        )
+        provenance.record(fact, rule_index, premises)
 
-    for rule_index, rule in enumerate(theory.rules):
+    rule_items: "List[Tuple[int, Rule]]" = (
+        list(enumerate(theory.rules))
+        if rule_indices is None
+        else [(index, theory.rules[index]) for index in rule_indices]
+    )
+    for rule_index, rule in rule_items:
         guard.checkpoint()
-        if delta is None:
+        if head_delta is not None:
+            bindings = _head_delta_bindings(rule, structure, head_delta)
+        elif delta is None:
             bindings: "Iterator[Dict[Variable, Element]]" = homomorphisms(
                 rule.body, structure
             )
@@ -272,6 +353,7 @@ def _evaluate_round(
                         produced_set.add(fact)
                         produced.append(fact)
                         fired = True
+                    if provenance is not None:
                         record(fact, rule_index, rule, binding)
                 if fired:
                     stats.triggers_fired += 1
@@ -323,6 +405,7 @@ def _evaluate_round(
                 if fact not in produced_set and not structure.has_fact(fact):
                     produced_set.add(fact)
                     produced.append(fact)
+                if provenance is not None:
                     record(fact, rule_index, rule, binding)
 
     for fact in produced:
@@ -338,15 +421,15 @@ def chase_step(
     nulls: NullFactory,
     level: int,
     config: "Optional[ChaseConfig]" = None,
-    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None,
+    provenance: "Optional[SupportStore]" = None,
 ) -> Tuple[List[Atom], List[Null]]:
     """One parallel round (``Chase^1``) applied in place.
 
     All triggers are evaluated against the structure *as it was at the
     start of the round* (full naive enumeration); the produced facts
     and nulls are returned (and already inserted into *structure*).
-    When *provenance* is given, each new fact maps to its
-    ``(rule index, premise facts)``.
+    When *provenance* (a :class:`~repro.chase.provenance.SupportStore`)
+    is given, every derivation event of the round is recorded in it.
 
     A passed *config* is used as given; only ``None`` selects the
     single-round default (an earlier version replaced any falsy value).
@@ -399,8 +482,8 @@ def chase(
     fact_level: Dict[Atom, int] = {fact: 0 for fact in working.facts()}
     new_elements: List[Null] = []
     rounds_fired: List[int] = []
-    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = (
-        {} if config.trace else None
+    provenance: "Optional[SupportStore]" = (
+        SupportStore(config.max_supports) if config.trace else None
     )
     strategy = config.effective_strategy
     stats = ChaseStats(strategy=strategy.value)

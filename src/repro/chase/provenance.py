@@ -1,21 +1,175 @@
-"""Derivation trees: *why* is a fact in the chase?
+"""Derivation trees and multi-support provenance: *why* is a fact here?
 
-When a chase runs with ``ChaseConfig(trace=True)``, every derived fact
-records the rule and premise facts that produced it first.  This module
-turns those records into :class:`Derivation` trees — the shape the
-paper reasons about when it says "a projection of a valid derivation
-from Chase(D,T) is a valid derivation in Chase(M,T)" (Section 3.3).
+When a chase runs with ``ChaseConfig(trace=True)``, every derivation
+event is offered to a :class:`SupportStore` — a bounded, deduplicated
+record of the ``(rule, premises)`` pairs that produced each fact.  This
+module turns those records into :class:`Derivation` trees — the shape
+the paper reasons about when it says "a projection of a valid
+derivation from Chase(D,T) is a valid derivation in Chase(M,T)"
+(Section 3.3) — and feeds the incremental view maintenance in
+:mod:`repro.chase.view` (DRed overdelete/rederive walks the store's
+reverse dependents index).
+
+An earlier version kept only the *first* derivation per fact, so
+alternative derivations were silently lost: ``explain_all`` showed one
+tree where several existed, and — fatally for incremental deletion — a
+fact whose first support died looked underivable even when another
+support survived.  The store now keeps up to
+:data:`DEFAULT_MAX_SUPPORTS` distinct supports per fact (bounded so
+tracing stays linear in the run, deduped so re-derivations of the same
+trigger cost nothing).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..errors import ChaseError
 from ..lf.atoms import Atom
 from ..lf.rules import Theory
 from .results import ChaseResult
+
+#: Default bound on distinct supports recorded per fact.  The first
+#: derivation is always kept (bound >= 1); beyond the bound further
+#: derivation events are dropped — sound for deletion (the DRed
+#: fallback rechase in :mod:`repro.chase.view` covers unrecorded
+#: alternatives) and bounded in memory.
+DEFAULT_MAX_SUPPORTS = 4
+
+
+class Support(NamedTuple):
+    """One recorded derivation event: which rule fired on which premises."""
+
+    rule_index: int
+    premises: Tuple[Atom, ...]
+
+
+class SupportStore:
+    """All recorded supports per derived fact, with a reverse index.
+
+    The forward map sends a fact to the tuple of distinct
+    :class:`Support` records that produced it (insertion order — the
+    first entry is the chronologically first derivation, which keeps
+    :func:`explain` deterministic and backwards-compatible).  The
+    reverse index sends a fact to the set of facts having it among
+    some support's premises — exactly the edge relation DRed
+    overdeletion walks.
+
+    Supports are deduplicated and bounded per fact
+    (*max_supports*); degenerate self-supports (the fact among its own
+    premises, e.g. ``E(a,a), E(a,a) -> E(a,a)``) are rejected — they
+    would let a deleted fact "rederive" from itself.
+    """
+
+    __slots__ = ("_supports", "_dependents", "max_supports")
+
+    def __init__(self, max_supports: int = DEFAULT_MAX_SUPPORTS):
+        if max_supports < 1:
+            raise ValueError(f"max_supports must be >= 1, got {max_supports}")
+        self._supports: Dict[Atom, List[Support]] = {}
+        self._dependents: Dict[Atom, Set[Atom]] = {}
+        self.max_supports = max_supports
+
+    # -- recording ------------------------------------------------------
+    def record(self, fact: Atom, rule_index: int, premises: Tuple[Atom, ...]) -> bool:
+        """Record one derivation event; return ``True`` iff it was kept.
+
+        Dropped when the fact already carries *max_supports* supports,
+        when the identical support is already recorded, or when the
+        support is a self-support.
+        """
+        if fact in premises:
+            return False
+        entry = Support(rule_index, premises)
+        existing = self._supports.get(fact)
+        if existing is None:
+            self._supports[fact] = [entry]
+        elif entry in existing:
+            return False
+        elif len(existing) >= self.max_supports:
+            return False
+        else:
+            existing.append(entry)
+        for premise in premises:
+            self._dependents.setdefault(premise, set()).add(fact)
+        return True
+
+    def at_capacity(self, fact: Atom) -> bool:
+        """Whether further :meth:`record` calls for *fact* would be
+        dropped by the per-fact bound (lets hot recording paths skip
+        building the premise tuple at all)."""
+        entries = self._supports.get(fact)
+        return entries is not None and len(entries) >= self.max_supports
+
+    # -- lookup ---------------------------------------------------------
+    def supports(self, fact: Atom) -> Tuple[Support, ...]:
+        """All recorded supports of *fact* (empty if unrecorded)."""
+        return tuple(self._supports.get(fact, ()))
+
+    def first(self, fact: Atom) -> "Optional[Support]":
+        """The chronologically first support, or ``None`` if unrecorded."""
+        found = self._supports.get(fact)
+        return found[0] if found else None
+
+    def dependents(self, fact: Atom) -> "FrozenSet[Atom]":
+        """Facts with *fact* among some recorded support's premises."""
+        return frozenset(self._dependents.get(fact, ()))
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._supports
+
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._supports)
+
+    def facts(self) -> Tuple[Atom, ...]:
+        """The recorded facts (arbitrary order)."""
+        return tuple(self._supports)
+
+    @property
+    def support_count(self) -> int:
+        """Total recorded supports across all facts."""
+        return sum(len(entries) for entries in self._supports.values())
+
+    # -- retraction bookkeeping ----------------------------------------
+    def discard(self, fact: Atom) -> None:
+        """Forget every support *of* ``fact`` (reverse edges included).
+
+        Supports that mention ``fact`` as a *premise* of other facts are
+        kept — DRed's rederivation phase needs them to survive the
+        overdeletion of the premise (a later rederive of the premise
+        revalidates them).
+        """
+        entries = self._supports.pop(fact, None)
+        if entries is None:
+            return
+        for entry in entries:
+            for premise in entry.premises:
+                bucket = self._dependents.get(premise)
+                if bucket is not None:
+                    bucket.discard(fact)
+                    if not bucket:
+                        del self._dependents[premise]
+
+    def copy(self) -> "SupportStore":
+        """An independent copy (the view's COW snapshot path)."""
+        clone = SupportStore(self.max_supports)
+        clone._supports = {
+            fact: list(entries) for fact, entries in self._supports.items()
+        }
+        clone._dependents = {
+            fact: set(deps) for fact, deps in self._dependents.items()
+        }
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SupportStore({len(self._supports)} facts, "
+            f"{self.support_count} supports, bound {self.max_supports})"
+        )
 
 
 @dataclass
@@ -83,6 +237,19 @@ class Derivation:
         return "\n".join(lines)
 
 
+def _is_database_fact(result: ChaseResult, fact: Atom) -> bool:
+    """Whether *fact* is extensional in the traced run.
+
+    A fact is a database fact iff its recorded level is 0.  A
+    hand-built result with no ``fact_level`` map cannot distinguish, so
+    everything unrecorded is treated as base data there (the legacy
+    behaviour, kept only for that degenerate case).
+    """
+    if not result.fact_level:
+        return True
+    return result.fact_level.get(fact, 1) == 0
+
+
 def explain(
     result: ChaseResult,
     fact: Atom,
@@ -90,19 +257,33 @@ def explain(
 ) -> Derivation:
     """The derivation tree of *fact* from a traced chase run.
 
+    When the fact carries several recorded supports the chronologically
+    first one is expanded (see :func:`alternative_derivations` for the
+    rest).
+
     Raises
     ------
     ChaseError
-        If the run was not traced, or the fact is not in the chase.
+        If the run was not traced, the fact is not in the chase, or the
+        fact is *derived* (level > 0) yet carries no recorded support —
+        a corrupted trace.  An earlier version silently rendered such
+        facts as database leaves, which let view rederivation mistake a
+        derived fact for base data.
     """
     if result.provenance is None:
         raise ChaseError("chase was not traced; rerun with ChaseConfig(trace=True)")
     if not result.structure.has_fact(fact):
         raise ChaseError(f"{fact} is not a fact of the chase")
     building = _building if _building is not None else set()
-    record = result.provenance.get(fact)
+    if _is_database_fact(result, fact):
+        return Derivation(fact=fact)  # extensional: a leaf, even if also derivable
+    record = result.provenance.first(fact)
     if record is None:
-        return Derivation(fact=fact)  # database fact
+        raise ChaseError(
+            f"{fact} is a derived fact (level "
+            f"{result.fact_level.get(fact)}) with no recorded derivation — "
+            f"the provenance trace is incomplete or corrupted"
+        )
     if fact in building:  # pragma: no cover - defensive (cannot happen:
         return Derivation(fact=fact)  # premises are strictly older)
     building.add(fact)
@@ -110,6 +291,31 @@ def explain(
     children = [explain(result, premise, building) for premise in premises]
     building.discard(fact)
     return Derivation(fact=fact, rule_index=rule_index, premises=children)
+
+
+def alternative_derivations(result: ChaseResult, fact: Atom) -> "List[Derivation]":
+    """One derivation tree per recorded support of *fact*.
+
+    Database facts yield a single leaf.  Each tree expands one of the
+    fact's own supports; premises are expanded through their *first*
+    support (expanding every combination would be exponential).
+    """
+    if result.provenance is None:
+        raise ChaseError("chase was not traced; rerun with ChaseConfig(trace=True)")
+    if not result.structure.has_fact(fact):
+        raise ChaseError(f"{fact} is not a fact of the chase")
+    if _is_database_fact(result, fact):
+        return [Derivation(fact=fact)]
+    found = []
+    for rule_index, premises in result.provenance.supports(fact):
+        children = [explain(result, premise) for premise in premises]
+        found.append(Derivation(fact=fact, rule_index=rule_index, premises=children))
+    if not found:
+        raise ChaseError(
+            f"{fact} is a derived fact with no recorded derivation — "
+            f"the provenance trace is incomplete or corrupted"
+        )
+    return found
 
 
 def explain_all(

@@ -10,13 +10,16 @@ budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..lf.atoms import Atom
 from ..lf.structures import Structure
 from ..lf.terms import Element, Null
 from ..runtime.guard import StopReason
 from .stats import ChaseStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .provenance import SupportStore
 
 
 @dataclass
@@ -44,10 +47,13 @@ class ChaseResult:
     rounds_fired:
         Per round, how many facts were added (diagnostic/benchmarks).
     provenance:
-        When the run was traced (``ChaseConfig(trace=True)``): for each
-        derived fact, the ``(rule index, premise facts)`` that produced
-        it first.  ``None`` on untraced runs.  Use
-        :mod:`repro.chase.provenance` to build derivation trees.
+        When the run was traced (``ChaseConfig(trace=True)``): a
+        :class:`~repro.chase.provenance.SupportStore` holding, for each
+        derived fact, all recorded ``(rule index, premise facts)``
+        supports (bounded, deduped).  ``None`` on untraced runs.  Use
+        :mod:`repro.chase.provenance` to build derivation trees; the
+        incremental view (:mod:`repro.chase.view`) drives DRed
+        deletion from the same records.
     stats:
         Per-round instrumentation (wall time, trigger/delta counters,
         index probes) — see :class:`~repro.chase.stats.ChaseStats`.
@@ -66,7 +72,7 @@ class ChaseResult:
     fact_level: Dict[Atom, int] = field(default_factory=dict)
     new_elements: List[Null] = field(default_factory=list)
     rounds_fired: List[int] = field(default_factory=list)
-    provenance: "Optional[Dict[Atom, Tuple[int, Tuple[Atom, ...]]]]" = None
+    provenance: "Optional[SupportStore]" = None
     stats: "Optional[ChaseStats]" = None
     stopped_reason: StopReason = StopReason.FIXPOINT
 

@@ -194,3 +194,101 @@ class ChaseStats:
             f"{self.triggers_evaluated} triggers, "
             f"{self.index_probes} probes)"
         )
+
+
+@dataclass
+class IncrStats:
+    """Instrumentation for one incremental view update.
+
+    Recorded by :meth:`repro.chase.view.ChaseView.update` on the shared
+    stats contract: :meth:`as_dict` feeds the CLI's ``--json``,
+    :meth:`render` its text-mode ``--stats`` comment lines, and
+    everything except the wall time is a pure function of
+    (view state, adds, removes).
+
+    Attributes
+    ----------
+    adds_in / removes_in:
+        Size of the requested delta (facts genuinely added to /
+        removed from the base, after dedup against the current base).
+    overdeleted:
+        Facts removed by the DRed overdeletion sweep (transitive
+        dependents of the removed base facts, base facts excluded).
+    rederived:
+        Overdeleted facts restored because an alternative recorded
+        support survived — the multi-support payoff.
+    fallback_rules:
+        Rules evaluated by the goal-directed DRed fallback round
+        (rules whose head predicate lost facts, enumerated against the
+        lost facts only; 0 when rederivation already settled
+        everything or nothing was removed).
+    resumed_rounds:
+        Semi-naive rounds run by the delta resume (insert seeding plus
+        the post-delete repair), *excluding* the fallback enumeration.
+    facts_added / nulls_invented:
+        What the resume derived beyond the explicit adds.
+    nulls_orphaned:
+        Invented nulls left occurring in no fact after the retraction —
+        dead weight the view drops from its level bookkeeping.
+    delta_sizes:
+        The delta fed into each resumed round (``rounds[i].delta_in``).
+    rounds:
+        Per-round counters of the resume, shaped exactly like a chase
+        run's (:class:`RoundStats`).
+    """
+
+    adds_in: int = 0
+    removes_in: int = 0
+    overdeleted: int = 0
+    rederived: int = 0
+    fallback_rules: int = 0
+    resumed_rounds: int = 0
+    facts_added: int = 0
+    nulls_invented: int = 0
+    nulls_orphaned: int = 0
+    delta_sizes: List[int] = field(default_factory=list)
+    rounds: List[RoundStats] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    @property
+    def triggers_evaluated(self) -> int:
+        return sum(r.triggers_evaluated for r in self.rounds)
+
+    def as_dict(self, timings: bool = True) -> Dict[str, Any]:
+        """A JSON-ready dict; ``timings=False`` strips every wall time."""
+        payload: Dict[str, Any] = {
+            "adds_in": self.adds_in,
+            "removes_in": self.removes_in,
+            "overdeleted": self.overdeleted,
+            "rederived": self.rederived,
+            "fallback_rules": self.fallback_rules,
+            "resumed_rounds": self.resumed_rounds,
+            "facts_added": self.facts_added,
+            "nulls_invented": self.nulls_invented,
+            "nulls_orphaned": self.nulls_orphaned,
+            "delta_sizes": list(self.delta_sizes),
+            "rounds": [r.as_dict(timings=timings) for r in self.rounds],
+        }
+        if timings:
+            payload["wall_ms"] = self.wall_ms
+        return payload
+
+    def render(self) -> str:
+        """Deterministically ordered text lines for the CLI's ``--stats``."""
+        lines = [
+            f"# update: +{self.adds_in} -{self.removes_in} "
+            f"overdeleted={self.overdeleted} rederived={self.rederived} "
+            f"fallback_rules={self.fallback_rules} "
+            f"resumed_rounds={self.resumed_rounds} "
+            f"facts+={self.facts_added} nulls+={self.nulls_invented} "
+            f"nulls_orphaned={self.nulls_orphaned} "
+            f"deltas={self.delta_sizes} wall={self.wall_ms:.2f}ms"
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return (
+            f"IncrStats(+{self.adds_in}/-{self.removes_in}, "
+            f"overdeleted {self.overdeleted}, rederived {self.rederived}, "
+            f"{self.resumed_rounds} resumed rounds)"
+        )

@@ -140,11 +140,100 @@ def _print_stats(args, stats) -> None:
         print(stats.render())
 
 
+def _parse_updates(text: str):
+    """Parse an update script into ``(adds, removes)`` batches.
+
+    One fact per line, prefixed ``+`` (insert) or ``-`` (retract);
+    blank lines separate batches; ``#`` comments are skipped.
+    """
+    from .lf.parser import parse_facts
+
+    batches = []
+    adds: List[Any] = []
+    removes: List[Any] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if line.startswith("#"):
+            continue
+        if not line:
+            if adds or removes:
+                batches.append((adds, removes))
+                adds, removes = [], []
+            continue
+        if line.startswith("+"):
+            adds.extend(parse_facts(line[1:].strip()))
+        elif line.startswith("-"):
+            removes.extend(parse_facts(line[1:].strip()))
+        else:
+            raise ReproError(
+                f"update line {lineno} must start with '+' or '-': {line!r}"
+            )
+    if adds or removes:
+        batches.append((adds, removes))
+    return batches
+
+
+def _cmd_chase_incremental(args, theory, database) -> int:
+    """The ``chase --incremental UPDATES`` path: maintain a view."""
+    from .chase import ChaseView, IncrementalConfig, explain
+
+    batches = _parse_updates(_load(args.incremental, args.inline))
+    view = ChaseView(
+        database,
+        theory,
+        IncrementalConfig(max_depth=args.depth, **_guard_overrides(args)),
+    )
+    results = []
+    for adds, removes in batches:
+        results.append(view.update(adds=adds, removes=removes))
+    status = "saturated" if view.saturated else "truncated"
+    code = _stop_code(view.stopped_reason, EXIT_OK)
+    if args.json:
+        payload = {
+            "command": "chase",
+            "mode": "incremental",
+            "status": status,
+            "stopped_reason": view.stopped_reason,
+            "counts": {
+                "depth": view.depth,
+                "facts": len(view),
+                "elements": view.structure.domain_size,
+                "base_facts": len(view.base_facts()),
+                "updates": len(results),
+            },
+            "updates": [r.stats.as_dict() for r in results],
+            "facts": [str(f) for f in view.structure.sorted_facts()],
+            "stats": _stats_dict(view.initial_result.stats),
+        }
+        return _emit_json(payload, code)
+    print(f"# chase {status} after {len(results)} updates: "
+          f"{len(view)} facts over {len(view.base_facts())} base facts, "
+          f"depth {view.depth} (stopped: {view.stopped_reason.value})")
+    if args.stats:
+        _print_stats(args, view.initial_result.stats)
+        for index, update in enumerate(results, start=1):
+            print(f"# update {index}:")
+            print(update.stats.render())
+    for fact in view.structure.sorted_facts():
+        print(fact)
+    if args.explain:
+        result = view.as_result()
+        facts = sorted(view.structure.facts_with_pred(args.explain), key=str)
+        if not facts:
+            print(f"# no {args.explain}-facts to explain", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"# derivation of {facts[0]}:")
+        print(explain(result, facts[0]).render(theory))
+    return code
+
+
 def _cmd_chase(args) -> int:
     from .chase import ChaseConfig, chase, explain
 
     theory = _theory(args)
     database = _database(args)
+    if args.incremental is not None:
+        return _cmd_chase_incremental(args, theory, database)
     result = chase(
         database,
         theory,
@@ -512,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("theory")
     chase_cmd.add_argument("database")
     chase_cmd.add_argument("--depth", type=int, default=8)
+    chase_cmd.add_argument(
+        "--incremental", metavar="UPDATES",
+        help="maintain an incremental view: apply blank-line-separated "
+             "batches of '+ Fact' / '- Fact' lines from this file "
+             "(inline text with -e)")
     chase_cmd.add_argument("--explain", metavar="PRED",
                            help="print a derivation tree for a PRED-fact")
     chase_cmd.set_defaults(handler=_cmd_chase)

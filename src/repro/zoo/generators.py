@@ -7,7 +7,7 @@ reproducible run to run.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..lf.atoms import Atom, atom
 from ..lf.rules import Rule, Theory
@@ -167,3 +167,65 @@ def transitive_theory(pred: str = "E") -> Theory:
     """Plain transitivity — datalog, terminating chase, not FO-rewritable."""
     x, y, z = Variable("x"), Variable("y"), Variable("z")
     return Theory([Rule((atom(pred, x, y), atom(pred, y, z)), (atom(pred, x, z),))])
+
+
+def churn_stream(
+    database: Structure,
+    batches: int,
+    delta_size: int = 1,
+    churn: float = 0.5,
+    pred: str = "E",
+    seed: int = 0,
+    protected: "Optional[Iterable[Atom]]" = None,
+) -> "List[Tuple[List[Atom], List[Atom]]]":
+    """A deterministic streaming-update workload over *database*.
+
+    Yields *batches* update batches ``(adds, removes)`` of *delta_size*
+    operations each, where *churn* is the fraction of operations that
+    retract a currently-live base fact (the rest insert fresh *pred*
+    edges over the database's constants).  Retractions only ever pick
+    facts that are live in the simulated base at that point, so every
+    batch is applicable in order — both to a
+    :class:`~repro.chase.view.ChaseView` and to a from-scratch rechase.
+
+    *protected* facts are never retracted — how the streaming
+    benchmarks keep a structural core (e.g. the successor cycle that
+    keeps a growth theory's restricted chase saturating) stable while
+    everything else churns.
+
+    The stream is a pure function of its arguments (fixed *seed*),
+    which is what lets the smoke benchmark compare incremental
+    maintenance against full rechase on identical inputs.
+    """
+    rng = random.Random(seed)
+    elements = sorted(
+        (e for e in database.domain() if isinstance(e, Constant)),
+        key=str,
+    )
+    if not elements:
+        raise ValueError("churn_stream needs a database with constants")
+    immune = frozenset(protected or ())
+    live = set(database.facts())
+    stream: "List[Tuple[List[Atom], List[Atom]]]" = []
+    for _ in range(batches):
+        adds: List[Atom] = []
+        removes: List[Atom] = []
+        for _ in range(delta_size):
+            removable = sorted(live - set(removes) - immune, key=str)
+            if removable and rng.random() < churn:
+                victim = removable[rng.randrange(len(removable))]
+                removes.append(victim)
+            else:
+                for _attempt in range(32):
+                    fact = atom(
+                        pred,
+                        elements[rng.randrange(len(elements))],
+                        elements[rng.randrange(len(elements))],
+                    )
+                    if fact not in live and fact not in adds:
+                        break
+                adds.append(fact)
+        live.difference_update(removes)
+        live.update(adds)
+        stream.append((adds, removes))
+    return stream

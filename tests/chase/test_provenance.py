@@ -1,10 +1,13 @@
-"""Tests for chase provenance (derivation trees)."""
+"""Tests for chase provenance (multi-support records, derivation trees)."""
 
 import pytest
 
 from repro.errors import ChaseError
 from repro.chase import (
+    DEFAULT_MAX_SUPPORTS,
     ChaseConfig,
+    SupportStore,
+    alternative_derivations,
     chase,
     deepest_derivation,
     explain,
@@ -86,6 +89,100 @@ class TestExplain:
         b_fact = parse_fact("B(c, a)")
         derivation = explain(result, b_fact)
         assert derivation.rules_used() == [0, 1]
+
+
+class TestSupportStore:
+    F = parse_fact("E(a, c)")
+    P1 = (parse_fact("E(a, b)"), parse_fact("E(b, c)"))
+    P2 = (parse_fact("E(a, x)"), parse_fact("E(x, c)"))
+
+    def test_records_multiple_supports(self):
+        store = SupportStore()
+        assert store.record(self.F, 0, self.P1)
+        assert store.record(self.F, 0, self.P2)
+        assert len(store.supports(self.F)) == 2
+        assert store.first(self.F).premises == self.P1
+
+    def test_duplicate_support_dropped(self):
+        store = SupportStore()
+        assert store.record(self.F, 0, self.P1)
+        assert not store.record(self.F, 0, self.P1)
+        assert store.support_count == 1
+
+    def test_bound_enforced_and_at_capacity(self):
+        store = SupportStore(max_supports=2)
+        assert not store.at_capacity(self.F)
+        store.record(self.F, 0, self.P1)
+        assert not store.at_capacity(self.F)
+        store.record(self.F, 1, self.P1)
+        assert store.at_capacity(self.F)
+        assert not store.record(self.F, 2, self.P1[:1])
+        assert len(store.supports(self.F)) == 2
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SupportStore(max_supports=0)
+
+    def test_self_support_rejected(self):
+        store = SupportStore()
+        loop = parse_fact("E(a, a)")
+        assert not store.record(loop, 0, (loop, loop))
+        assert loop not in store
+
+    def test_dependents_reverse_index(self):
+        store = SupportStore()
+        store.record(self.F, 0, self.P1)
+        assert store.dependents(self.P1[0]) == frozenset([self.F])
+        assert store.dependents(self.F) == frozenset()
+
+    def test_discard_forgets_supports_keeps_premise_role(self):
+        store = SupportStore()
+        downstream = parse_fact("E(a, d)")
+        store.record(self.F, 0, self.P1)
+        store.record(downstream, 0, (self.F, parse_fact("E(c, d)")))
+        store.discard(self.F)
+        assert self.F not in store
+        assert store.dependents(self.P1[0]) == frozenset()
+        # F still supports downstream: DRed rederivation needs that edge
+        assert store.dependents(self.F) == frozenset([downstream])
+
+    def test_copy_is_independent(self):
+        store = SupportStore()
+        store.record(self.F, 0, self.P1)
+        clone = store.copy()
+        clone.record(self.F, 0, self.P2)
+        assert len(store.supports(self.F)) == 1
+        assert len(clone.supports(self.F)) == 2
+
+    def test_default_bound(self):
+        assert SupportStore().max_supports == DEFAULT_MAX_SUPPORTS
+
+
+class TestAlternativeDerivations:
+    def test_all_supports_become_trees(self):
+        # E(a,c) has two one-step derivations in the diamond
+        db = parse_structure("E(a,b)\nE(b,c)\nE(a,x)\nE(x,c)")
+        result = traced(db, TRANSITIVE)
+        trees = alternative_derivations(result, parse_fact("E(a, c)"))
+        assert len(trees) == 2
+        premise_sets = {
+            frozenset(p.fact for p in tree.premises) for tree in trees
+        }
+        assert len(premise_sets) == 2
+
+    def test_database_fact_single_leaf(self):
+        result = traced(CHAIN, TRANSITIVE)
+        trees = alternative_derivations(result, parse_fact("E(a, b)"))
+        assert len(trees) == 1 and trees[0].is_leaf
+
+    def test_derived_without_record_raises(self):
+        result = traced(CHAIN, TRANSITIVE)
+        fact = parse_fact("E(a, c)")
+        result.provenance.discard(fact)  # corrupt the trace
+        with pytest.raises(ChaseError):
+            explain(result, fact)
+        with pytest.raises(ChaseError):
+            alternative_derivations(result, fact)
 
 
 class TestHelpers:

@@ -7,6 +7,9 @@ and node counts may differ (dict iteration order is already
 hash-seed-dependent), so everything is compared as sets or verdicts.
 """
 
+import os
+
+import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.chase import ChaseConfig, chase
@@ -14,9 +17,21 @@ from repro.fc import SearchConfig, search_finite_model
 from repro.lf import satisfies
 from repro.lf.canonical import canonical_key
 from repro.lf.homomorphism import homomorphisms
-from repro.store import ColumnarStructure
+from repro.store import STORE_ENV_VAR, ColumnarStructure
 
 from .strategies import conjunctive_queries, open_conjunctive_queries, structures, theories
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _unpinned_backend():
+    """This module pins backends explicitly (each comparison converts its
+    own input), so the CI matrix's REPRO_STORE override must not reroute
+    the engines — e.g. the "a columnar input stays columnar" assertion
+    only holds with the variable unset."""
+    saved = os.environ.pop(STORE_ENV_VAR, None)
+    yield
+    if saved is not None:
+        os.environ[STORE_ENV_VAR] = saved
 
 RELAXED = settings(
     max_examples=40,

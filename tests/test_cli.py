@@ -56,6 +56,60 @@ class TestChase:
         assert "error" in err
 
 
+class TestChaseIncremental:
+    TC = "E(x,y), E(y,z) -> E(x,z)"
+    SCRIPT = "+ E(c,d)\n\n- E(a,b)\n"
+
+    def test_updates_applied_in_batches(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "chase", self.TC, "E(a,b)\nE(b,c)",
+            "--depth", "8", "--incremental", self.SCRIPT,
+        )
+        assert code == 0
+        assert "2 updates" in out
+        assert "E(b, d)" in out  # closure over the inserted edge
+        assert "E(a, b)" not in out  # retracted, with its consequences
+
+    def test_stats_render_updates(self, capsys):
+        code, out, _err = run(
+            capsys, "-e", "chase", self.TC, "E(a,b)\nE(b,c)",
+            "--depth", "8", "--incremental", self.SCRIPT, "--stats",
+        )
+        assert code == 0
+        assert out.count("# update:") == 2
+        assert "overdeleted=" in out
+
+    def test_update_script_from_file(self, capsys, tmp_path):
+        theory_file = tmp_path / "t.dlg"
+        theory_file.write_text(self.TC)
+        db_file = tmp_path / "d.facts"
+        db_file.write_text("E(a,b)\nE(b,c)")
+        updates_file = tmp_path / "u.updates"
+        updates_file.write_text("# first batch\n+ E(c,d)\n")
+        code, out, _err = run(
+            capsys, "chase", str(theory_file), str(db_file),
+            "--incremental", str(updates_file),
+        )
+        assert code == 0
+        assert "E(a, d)" in out
+
+    def test_bad_prefix_rejected(self, capsys):
+        code, _out, err = run(
+            capsys, "-e", "chase", self.TC, "E(a,b)",
+            "--incremental", "* E(c,d)",
+        )
+        assert code == 1
+        assert "error" in err
+
+    def test_retract_derived_fact_rejected(self, capsys):
+        code, _out, err = run(
+            capsys, "-e", "chase", self.TC, "E(a,b)\nE(b,c)",
+            "--incremental", "- E(a,c)",
+        )
+        assert code == 1
+        assert "not a database fact" in err
+
+
 class TestCertain:
     def test_boolean_certain(self, capsys):
         code, out, _err = run(

@@ -96,6 +96,33 @@ class TestJsonShape:
         assert stats["totals"]["triggers_evaluated"] >= 3
         assert payload["facts"] == sorted(payload["facts"])
 
+    def test_chase_incremental_payload(self, capsys):
+        code, payload = run_json(
+            capsys, "-e", "chase", "E(x,y), E(y,z) -> E(x,z)",
+            "E(a,b)\nE(b,c)", "--depth", "8",
+            "--incremental", "+ E(c,d)\n\n- E(a,b)", "--json",
+        )
+        assert code == EXIT_OK
+        assert payload["command"] == "chase"
+        assert payload["mode"] == "incremental"
+        assert payload["counts"]["updates"] == 2
+        assert len(payload["updates"]) == 2
+        first, second = payload["updates"]
+        assert first["adds_in"] == 1 and second["removes_in"] == 1
+        assert second["overdeleted"] >= 1
+        assert payload["facts"] == sorted(payload["facts"])
+        # determinism once timings are stripped (the hom block is
+        # additionally plan-cache-warmth dependent across runs)
+        rerun = run_json(
+            capsys, "-e", "chase", "E(x,y), E(y,z) -> E(x,z)",
+            "E(a,b)\nE(b,c)", "--depth", "8",
+            "--incremental", "+ E(c,d)\n\n- E(a,b)", "--json",
+        )
+        first_run, second_run = strip_timings(payload), strip_timings(rerun[1])
+        first_run["stats"].pop("hom", None)
+        second_run["stats"].pop("hom", None)
+        assert first_run == second_run
+
     def test_rewrite_payload_carries_stats(self, capsys):
         code, payload = run_json(capsys, "-e", "rewrite", EXAMPLE7,
                                  "R(x,u)", "--free", "x,u", "--json")
