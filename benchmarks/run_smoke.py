@@ -138,6 +138,18 @@ STORE_SPEEDUP_BAR_X = 2.0
 #: streaming workload (``tc-stream``), on both store backends.
 INCR_SPEEDUP_BAR_X = 3.0
 
+SERVE_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: BENCH_serve acceptance bar: a warm ``repro serve`` session must
+#: answer the Theorem-2 corpus request mix at least this much faster
+#: than the cold per-request baseline (fresh tenant + cleared process
+#: caches on every request).
+SERVE_SPEEDUP_BAR_X = 3.0
+
+#: BENCH_serve per-request SLA: the server's default ``wall_ms`` for
+#: the run; the warm mix's p99 latency must come in under it.
+SERVE_SLA_MS = 1000.0
+
 #: Never-tripping guard budgets: the guard is active (every checkpoint
 #: pays the deadline check and the periodic RSS poll) but cannot stop
 #: the run, so the guarded/unguarded gap is pure bookkeeping overhead.
@@ -832,6 +844,134 @@ def incr_entries(full, repeat):
     return entries, speedups
 
 
+def serve_entries(full, repeat):
+    """The BENCH_serve scoreboard: (entries, speedups).
+
+    One long-lived :class:`~repro.serve.ServerThread` answers the
+    Theorem-2 corpus request mix (rewrite + chase + certain per entry)
+    plus a set of rewrite-heavy "compile service" tenants — random
+    linear theories whose 3-atom join queries take tens of ms to
+    rewrite from scratch — over a real loopback socket, in two modes:
+
+    * ``cold`` — one-shot economics inside the same transport: a fresh
+      tenant per request and the process-wide caches (plan cache,
+      subsumption memo, type-query memo) cleared before each, so every
+      request pays parse + plan-compile + full rewriting again;
+    * ``warm`` — one tenant throughout, measured after a warm-up pass:
+      parsed artifacts, compiled plans, and finished rewritings are
+      served from the session, which is the whole point of serve mode.
+
+    Per-request latencies give sustained req/s and p50/p99; the
+    acceptance bar is ``SERVE_SPEEDUP_BAR_X`` on total wall with the
+    warm p99 under ``SERVE_SLA_MS`` (each request also *runs* under
+    that deadline as its guard SLA).  Cold runs first so its cache
+    clears cannot steal the warm mode's state.
+    """
+    from repro.lf.io import atom_to_text, query_to_text, theory_to_text
+    from repro.ptypes.bruteforce import clear_type_query_cache
+    from repro.serve import ServeConfig, ServerThread
+
+    from repro.zoo import random_linear_theory
+
+    corpus = theorem2_corpus()
+    if not full:
+        corpus = corpus[:5]
+    jobs = []
+    for name, theory, database, query in corpus:
+        jobs.append(("mix", (
+            name,
+            theory_to_text(theory),
+            "\n".join(atom_to_text(f)
+                      for f in sorted(database.facts(), key=str)),
+            query_to_text(query),
+            [str(v) for v in query.free],
+        )))
+    # rewrite-heavy tenants: each pays a real UCQ saturation cold
+    # (tens of ms) that the warm artifact cache answers instantly
+    heavy_specs = [(16, 11), (18, 7), (20, 3)] if not full else \
+        [(16, 11), (18, 7), (18, 11), (20, 3)]
+    for rules, seed in heavy_specs:
+        theory = random_linear_theory(predicates=3, rules=rules, seed=seed)
+        jobs.append(("rewrite", (
+            f"linear-{rules}r-s{seed}",
+            theory_to_text(theory),
+            None,
+            "P0(x,y), P1(y,z), P2(z,w)",
+            [],
+        )))
+    rounds = max(repeat, 6 if full else 3)
+
+    def fire(client, job, tenant):
+        kind, (name, ttext, dtext, qtext, free) = job
+        responses = [
+            client.request("rewrite", tenant=tenant, theory=ttext,
+                           query=qtext, free=free),
+        ]
+        if kind == "mix":
+            responses.append(
+                client.request("chase", tenant=tenant, theory=ttext,
+                               database=dtext, params={"depth": 6}))
+            responses.append(
+                client.request("certain", tenant=tenant, theory=ttext,
+                               database=dtext, query=qtext, free=free,
+                               params={"depth": 6}))
+        for response in responses:
+            assert response["status"] != "error", response
+        return len(responses)
+
+    def measure(client, mode):
+        latencies = []
+        requests = 0
+        serial = 0
+        for _ in range(rounds):
+            for job in jobs:
+                if mode == "cold":
+                    clear_plan_cache()
+                    clear_subsume_cache()
+                    clear_type_query_cache()
+                    serial += 1
+                    tenant = f"cold-{serial}"
+                else:
+                    tenant = "warm"
+                start = time.perf_counter()
+                requests += fire(client, job, tenant)
+                latencies.append(time.perf_counter() - start)
+        return latencies, requests
+
+    def entry(mode, latencies, requests):
+        ordered = sorted(latencies)
+        total = sum(latencies)
+        count = len(latencies)
+        return {
+            "workload": f"theorem2-mix-{len(jobs)}jobs",
+            "mode": mode,
+            "requests": requests,
+            "wall_s": round(total, 6),
+            "req_per_s": round(requests / max(total, 1e-9), 2),
+            "p50_ms": round(ordered[count // 2] * 1000.0, 3),
+            "p99_ms": round(
+                ordered[min(count - 1, int(0.99 * count))] * 1000.0, 3
+            ),
+        }
+
+    config = ServeConfig(workers=2, wall_ms=SERVE_SLA_MS)
+    with ServerThread(config) as handle:
+        with handle.client(timeout=300) as client:
+            cold, cold_requests = measure(client, "cold")
+            for job in jobs:  # warm-up: populate caches
+                fire(client, job, "warm")
+            warm, warm_requests = measure(client, "warm")
+
+    entries = [
+        entry("cold", cold, cold_requests),
+        entry("warm", warm, warm_requests),
+    ]
+    speedups = {
+        "theorem2_mix": round(sum(cold) / max(sum(warm), 1e-9), 2),
+    }
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -845,6 +985,7 @@ def main(argv=None):
     parser.add_argument("--guard-output", type=Path, default=GUARD_OUTPUT)
     parser.add_argument("--store-output", type=Path, default=STORE_OUTPUT)
     parser.add_argument("--incr-output", type=Path, default=INCR_OUTPUT)
+    parser.add_argument("--serve-output", type=Path, default=SERVE_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -1013,6 +1154,27 @@ def main(argv=None):
     for name, factor in incr_speedups.items():
         print(f"rechase/incremental speedup, {name}: {factor}x")
     print(f"wrote {args.incr_output}")
+
+    serve_entry_list, serve_speedups = serve_entries(args.full, args.repeat)
+    serve_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "bar_x": SERVE_SPEEDUP_BAR_X,
+        "sla_ms": SERVE_SLA_MS,
+        "entries": serve_entry_list,
+        "speedups": serve_speedups,
+    }
+    args.serve_output.write_text(
+        json.dumps(serve_payload, indent=2, sort_keys=True) + "\n")
+    for entry in serve_entry_list:
+        print(f"{entry['workload']:>34} {entry['mode']:>20} "
+              f"{entry['wall_s'] * 1000:9.2f} ms  "
+              f"{entry['req_per_s']} req/s  p50={entry['p50_ms']}ms "
+              f"p99={entry['p99_ms']}ms")
+    for name, factor in serve_speedups.items():
+        print(f"cold/warm speedup, {name}: {factor}x "
+              f"(bar: {SERVE_SPEEDUP_BAR_X}x)")
+    print(f"wrote {args.serve_output}")
     return 0
 
 

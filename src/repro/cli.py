@@ -9,6 +9,9 @@ Commands
 ``countermodel`` the Theorem-2/3 pipeline: a finite model avoiding a query
 ``fc-search``    bounded finite-model search (Definition 1 oracle)
 ``skeleton``     extract S(D,T) and check Lemma 3
+``serve``        warm multi-tenant service mode (:mod:`repro.serve`):
+                 line-JSON over TCP/Unix socket, same payloads as
+                 ``--json``, SIGTERM → drain → exit 130
 
 Theories/databases are files; pass ``-e`` to treat the arguments as
 inline text instead.  Everything prints deterministic, line-oriented
@@ -76,13 +79,18 @@ from .errors import BudgetError, Cancelled, DeadlineExceeded, MemoryBudgetExceed
 from .lf import parse_query, parse_structure, parse_theory
 from .runtime import StopReason, cancellation_scope
 
-#: Exit codes (see the module docstring table).
-EXIT_OK = 0
-EXIT_ERROR = 1
-EXIT_INCOMPLETE = 2
-EXIT_NO_COUNTERMODEL = 3
-#: The conventional 128+SIGINT code: the run was cooperatively cancelled.
-EXIT_INTERRUPTED = 130
+# The exit-code table and the per-command payload builders are shared
+# with ``repro serve`` (same run, same JSON); see repro.payloads.
+from .payloads import (  # noqa: F401  (EXIT_* are part of the public surface)
+    EXIT_ERROR,
+    EXIT_INCOMPLETE,
+    EXIT_INTERRUPTED,
+    EXIT_NO_COUNTERMODEL,
+    EXIT_OK,
+    stop_code as _stop_code,
+    stats_dict as _stats_dict,
+)
+from . import payloads
 
 
 def _load(text_or_path: str, inline: bool) -> str:
@@ -111,10 +119,6 @@ def _emit_json(payload: Dict[str, Any], exit_code: int) -> int:
     return exit_code
 
 
-def _stats_dict(stats) -> "Optional[Dict[str, Any]]":
-    return stats.as_dict() if stats is not None else None
-
-
 def _guard_overrides(args) -> Dict[str, Any]:
     """The shared config fields from the global CLI flags (runtime
     guards plus the fact-store backend)."""
@@ -123,15 +127,6 @@ def _guard_overrides(args) -> Dict[str, Any]:
         "max_rss_mb": args.max_rss_mb,
         "store": args.store,
     }
-
-
-def _stop_code(stopped_reason, default: int) -> int:
-    """Map a guard stop onto the exit-code table (guards win over *default*)."""
-    if stopped_reason == StopReason.CANCELLED:
-        return EXIT_INTERRUPTED
-    if stopped_reason in (StopReason.DEADLINE, StopReason.MEMORY):
-        return EXIT_INCOMPLETE
-    return default
 
 
 def _print_stats(args, stats) -> None:
@@ -187,24 +182,8 @@ def _cmd_chase_incremental(args, theory, database) -> int:
     for adds, removes in batches:
         results.append(view.update(adds=adds, removes=removes))
     status = "saturated" if view.saturated else "truncated"
-    code = _stop_code(view.stopped_reason, EXIT_OK)
+    payload, code = payloads.incremental_chase_payload(view, results)
     if args.json:
-        payload = {
-            "command": "chase",
-            "mode": "incremental",
-            "status": status,
-            "stopped_reason": view.stopped_reason,
-            "counts": {
-                "depth": view.depth,
-                "facts": len(view),
-                "elements": view.structure.domain_size,
-                "base_facts": len(view.base_facts()),
-                "updates": len(results),
-            },
-            "updates": [r.stats.as_dict() for r in results],
-            "facts": [str(f) for f in view.structure.sorted_facts()],
-            "stats": _stats_dict(view.initial_result.stats),
-        }
         return _emit_json(payload, code)
     print(f"# chase {status} after {len(results)} updates: "
           f"{len(view)} facts over {len(view.base_facts())} base facts, "
@@ -242,21 +221,8 @@ def _cmd_chase(args) -> int:
         ),
     )
     status = "saturated" if result.saturated else "truncated"
-    code = _stop_code(result.stopped_reason, EXIT_OK)
+    payload, code = payloads.chase_payload(result)
     if args.json:
-        payload = {
-            "command": "chase",
-            "status": status,
-            "stopped_reason": result.stopped_reason,
-            "counts": {
-                "depth": result.depth,
-                "facts": len(result.structure),
-                "elements": result.structure.domain_size,
-                "invented": len(result.new_elements),
-            },
-            "facts": [str(f) for f in result.structure.sorted_facts()],
-            "stats": _stats_dict(result.stats),
-        }
         return _emit_json(payload, code)
     shown = status if result.saturated else f"truncated at depth {result.depth}"
     print(f"# chase {shown}: {len(result.structure)} facts, "
@@ -290,23 +256,9 @@ def _cmd_certain(args) -> int:
     )
     report = certain_report(database, theory, query, config=config)
     verdict = {True: "certain", False: "not-certain", None: "unknown"}[report.verdict]
-    code = EXIT_OK if report.verdict is not None else EXIT_INCOMPLETE
-    code = _stop_code(report.result.stopped_reason, code)
+    payload, code = payloads.certain_payload(report)
     rows = sorted(report.answers, key=str)
     if args.json:
-        payload = {
-            "command": "certain",
-            "status": verdict,
-            "stopped_reason": report.result.stopped_reason,
-            "complete": report.complete,
-            "counts": {
-                "answers": len(report.answers),
-                "depth": report.result.depth,
-                "facts": len(report.result.structure),
-            },
-            "answers": [[str(value) for value in row] for row in rows],
-            "stats": _stats_dict(report.stats),
-        }
         return _emit_json(payload, code)
     if query.is_boolean:
         print(verdict)
@@ -334,23 +286,8 @@ def _cmd_rewrite(args) -> int:
     )
     engine = legacy_rewrite if args.legacy else rewrite
     result = engine(query, theory, config)
-    code = EXIT_OK if result.saturated else EXIT_INCOMPLETE
-    code = _stop_code(result.stopped_reason, code)
+    payload, code = payloads.rewrite_payload(result)
     if args.json:
-        payload = {
-            "command": "rewrite",
-            "status": "saturated" if result.saturated else "budget-exhausted",
-            "stopped_reason": result.stopped_reason,
-            "counts": {
-                "disjuncts": len(result.ucq),
-                "steps": result.steps,
-                "generated": result.generated,
-                "max_width": result.max_width,
-                "depth_bound": result.depth_bound,
-            },
-            "disjuncts": [str(d) for d in result.ucq],
-            "stats": _stats_dict(result.stats),
-        }
         return _emit_json(payload, code)
     status = "saturated" if result.saturated else "budget-exhausted (incomplete!)"
     print(f"# {status}: {len(result.ucq)} disjuncts, max width "
@@ -366,13 +303,8 @@ def _cmd_classify(args) -> int:
 
     profile = classify(_theory(args))
     if args.json:
-        payload = {
-            "command": "classify",
-            "status": "ok",
-            "counts": {"classes": len(profile)},
-            "profile": {name: bool(verdict) for name, verdict in profile.items()},
-        }
-        return _emit_json(payload, EXIT_OK)
+        payload, code = payloads.classify_payload(profile)
+        return _emit_json(payload, code)
     for name, verdict in sorted(profile.items()):
         print(f"{name}: {'yes' if verdict else 'no'}")
     return EXIT_OK
@@ -391,29 +323,8 @@ def _cmd_countermodel(args) -> int:
         )
     result = build_finite_counter_model(theory, database, query, config)
     if args.json:
-        payload = {
-            "command": "countermodel",
-            "status": "query-certain" if result.query_certain else "model-found",
-            "stopped_reason": result.stopped_reason,
-            "counts": {
-                "model_size": result.model_size,
-                "kappa": result.kappa,
-                "eta": result.eta,
-                "depth": result.depth,
-                "skeleton_size": result.skeleton_size,
-                "interior_size": result.interior_size,
-                "attempts": len(result.attempts),
-            },
-            "facts": (
-                [str(f) for f in result.model.sorted_facts()]
-                if result.model is not None
-                else []
-            ),
-            "stats": [s.as_dict() for s in result.chase_stats],
-        }
-        return _emit_json(
-            payload, EXIT_NO_COUNTERMODEL if result.query_certain else EXIT_OK
-        )
+        payload, code = payloads.countermodel_payload(result)
+        return _emit_json(payload, code)
     if result.query_certain:
         print("# the query is certain: no counter-model exists")
         return EXIT_NO_COUNTERMODEL
@@ -457,33 +368,8 @@ def _cmd_fc_search(args) -> int:
             database, theory, forbidden=forbidden, config=config
         )
     stats = outcome.stats
-    if outcome.found:
-        status, code = "model-found", EXIT_OK
-    elif stats.exhausted:
-        status, code = "exhausted-no-model", EXIT_NO_COUNTERMODEL
-    else:
-        status, code = "budget-exhausted", EXIT_INCOMPLETE
-    code = _stop_code(outcome.stopped_reason, code)
+    payload, code = payloads.fc_search_payload(outcome)
     if args.json:
-        payload = {
-            "command": "fc-search",
-            "status": status,
-            "stopped_reason": outcome.stopped_reason,
-            "counts": {
-                "nodes": stats.nodes,
-                "duplicates": stats.duplicates,
-                "pruned_by_query": stats.pruned_by_query,
-                "model_size": (
-                    outcome.model.domain_size if outcome.model is not None else 0
-                ),
-            },
-            "facts": (
-                [str(f) for f in outcome.model.sorted_facts()]
-                if outcome.model is not None
-                else []
-            ),
-            "stats": _stats_dict(stats),
-        }
         return _emit_json(payload, code)
     if outcome.found:
         print(f"# model found: {outcome.model.domain_size} elements, "
@@ -510,26 +396,8 @@ def _cmd_skeleton(args) -> int:
         database, theory, max_depth=args.depth, **_guard_overrides(args)
     )
     report = lemma3_report(result)
-    code = EXIT_OK if report.all_hold else EXIT_INCOMPLETE
+    payload, code = payloads.skeleton_payload(result, report)
     if args.json:
-        payload = {
-            "command": "skeleton",
-            "status": "lemma3-holds" if report.all_hold else "lemma3-violated",
-            "counts": {
-                "skeleton_atoms": len(result.structure),
-                "elements": result.structure.domain_size,
-                "flesh_atoms": len(result.flesh),
-                "degree_observed": report.degree_observed,
-                "degree_bound": report.degree_bound,
-            },
-            "lemma3": {
-                "forest": report.forest,
-                "acyclic": report.acyclic,
-                "in_degree_at_most_one": report.in_degree_at_most_one,
-                "vtdag": report.vtdag,
-            },
-            "facts": [str(f) for f in result.structure.sorted_facts()],
-        }
         return _emit_json(payload, code)
     print(f"# skeleton: {len(result.structure)} atoms over "
           f"{result.structure.domain_size} elements; "
@@ -541,6 +409,49 @@ def _cmd_skeleton(args) -> int:
     for fact in result.structure.sorted_facts():
         print(fact)
     return code
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, run_server
+
+    wall_ms = args.request_wall_ms
+    if wall_ms is None:
+        wall_ms = args.wall_ms  # the global flag doubles as the default SLA
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        path=args.unix,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        drain_ms=args.drain_ms,
+        wall_ms=wall_ms,
+        max_rss_mb=args.max_rss_mb,
+        store=args.store,
+    )
+
+    def announce(server) -> None:
+        import os
+
+        if args.json:
+            print(json.dumps({
+                "command": "serve",
+                "status": "ready",
+                "host": server.host,
+                "port": server.port,
+                "path": config.path,
+                "workers": config.workers,
+                "request_wall_ms": config.wall_ms,
+                "pid": os.getpid(),
+            }, sort_keys=True, default=str))
+        else:
+            where = (config.path if config.path is not None
+                     else f"{server.host}:{server.port}")
+            print(f"# repro serve ready on {where} "
+                  f"(workers={config.workers}, "
+                  f"request-wall-ms={config.wall_ms}, pid={os.getpid()})")
+        sys.stdout.flush()
+
+    return run_server(config, ready=announce)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,6 +593,33 @@ def build_parser() -> argparse.ArgumentParser:
     skeleton_cmd.add_argument("database")
     skeleton_cmd.add_argument("--depth", type=int, default=8)
     skeleton_cmd.set_defaults(handler=_cmd_skeleton)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="warm multi-tenant service (line-JSON over TCP/Unix socket)",
+        parents=[global_flags],
+        epilog="SIGTERM/SIGINT: stop accepting, drain in-flight requests "
+               "(up to --drain-ms, then cancel them cooperatively), exit "
+               "130. The readiness line reports the bound port (use "
+               "--port 0 for an ephemeral one). --wall-ms acts as the "
+               "default per-request SLA when --request-wall-ms is not "
+               "given; --max-rss-mb is the shared soft ceiling.",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7464,
+                           help="TCP port (0 = ephemeral; default 7464)")
+    serve_cmd.add_argument("--unix", metavar="PATH", default=None,
+                           help="listen on a Unix-domain socket instead")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="worker threads (default 4)")
+    serve_cmd.add_argument("--max-sessions", type=int, default=64,
+                           help="LRU bound on warm tenant sessions")
+    serve_cmd.add_argument("--drain-ms", type=float, default=5000.0,
+                           help="shutdown grace for in-flight requests")
+    serve_cmd.add_argument("--request-wall-ms", type=float, default=None,
+                           metavar="MS",
+                           help="default per-request SLA deadline")
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -43,6 +43,7 @@ snapshots per run and folds into
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields, replace
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -632,6 +633,13 @@ class PlanCache:
     entry regardless of construction order.  The cache is cleared
     wholesale when full (entries are cheap to rebuild and real
     workloads never approach the bound).
+
+    Thread-safe for the server's shared-worker use: the hit path stays
+    a lock-free dict probe (plans are immutable once published), while
+    the compile-and-insert miss path runs under a lock with a
+    double-check, so every thread asking for one shape gets the *same*
+    plan object and a concurrent wholesale clear cannot interleave
+    with an insert.
     """
 
     def __init__(self, maxsize: int = 8192):
@@ -639,12 +647,14 @@ class PlanCache:
         self._plans: Dict[
             Tuple[Tuple[Atom, ...], FrozenSet[Variable]], QueryPlan
         ] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def plan_for(
         self,
@@ -658,12 +668,17 @@ class PlanCache:
         if plan is not None:
             HOM_STATS.plan_cache_hits += 1
             return plan
-        HOM_STATS.plan_cache_misses += 1
-        plan = compile_plan(atoms, prebound, structure)
-        HOM_STATS.plans_compiled += 1
-        if len(self._plans) >= self._maxsize:
-            self._plans.clear()
-        self._plans[key] = plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                HOM_STATS.plan_cache_hits += 1
+                return plan
+            HOM_STATS.plan_cache_misses += 1
+            plan = compile_plan(atoms, prebound, structure)
+            HOM_STATS.plans_compiled += 1
+            if len(self._plans) >= self._maxsize:
+                self._plans.clear()
+            self._plans[key] = plan
         return plan
 
 

@@ -18,6 +18,7 @@ Only practical for tiny parameters: the query count is roughly
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..lf.atoms import Atom
@@ -36,11 +37,16 @@ from ..lf.terms import Constant, Element, Variable
 #: query lists.
 _TYPE_QUERY_CACHE: "dict[tuple, Tuple[ConjunctiveQuery, ...]]" = {}
 _TYPE_QUERY_CACHE_MAX = 64
+#: Miss-path guard for multi-threaded callers (the serve worker pool):
+#: hits stay lock-free; the size-check + insert is atomic.  A duplicate
+#: enumeration outside the lock is idempotent, never corrupting.
+_TYPE_QUERY_CACHE_LOCK = threading.Lock()
 
 
 def clear_type_query_cache() -> None:
     """Drop the :func:`enumerate_type_queries` memo (for tests)."""
-    _TYPE_QUERY_CACHE.clear()
+    with _TYPE_QUERY_CACHE_LOCK:
+        _TYPE_QUERY_CACHE.clear()
 
 
 def enumerate_type_queries(
@@ -77,9 +83,10 @@ def enumerate_type_queries(
                 signature_relations, constant_list, n, max_atoms, include_equalities
             )
         )
-        if len(_TYPE_QUERY_CACHE) >= _TYPE_QUERY_CACHE_MAX:
-            _TYPE_QUERY_CACHE.clear()
-        _TYPE_QUERY_CACHE[key] = cached
+        with _TYPE_QUERY_CACHE_LOCK:
+            if len(_TYPE_QUERY_CACHE) >= _TYPE_QUERY_CACHE_MAX:
+                _TYPE_QUERY_CACHE.clear()
+            _TYPE_QUERY_CACHE[key] = cached
     yield from cached
 
 

@@ -458,6 +458,7 @@ def rewrite(
     index = SubsumptionIndex()
     start_marker = start.canonical()
     seen: Set[ConjunctiveQuery] = {start_marker}
+    pruned: Set[ConjunctiveQuery] = set()
     kept: List[ConjunctiveQuery] = [start]
     index.add(start)
     depth_of: Dict[ConjunctiveQuery, int] = {start_marker: 0}
@@ -499,13 +500,22 @@ def rewrite(
             return
         marker = normal.canonical()
         if marker in seen:
-            stats.duplicates += 1
             if depth < depth_of.get(marker, depth):
                 depth_of[marker] = depth
-            return
-        seen.add(marker)
-        depth_of[marker] = depth
-        generated += 1
+            # A query pruned on an earlier (prunable) arrival must be
+            # resurrected when it re-arrives as a kept query's
+            # factorisation: those are kept unconditionally for
+            # completeness, and the first arrival's seen-marker must
+            # not veto that (the pruned copy never ran its own rewrite
+            # steps, so dropping this one would cut a derivation chain).
+            if prunable or marker not in pruned:
+                stats.duplicates += 1
+                return
+            pruned.discard(marker)
+        else:
+            seen.add(marker)
+            depth_of[marker] = depth
+            generated += 1
         if prunable and config.eager_subsumption:
             probe_start = time.perf_counter()
             stats.index_probes += 1
@@ -520,6 +530,7 @@ def rewrite(
             stats.subsume_ms += (time.perf_counter() - probe_start) * 1000.0
             if contained:
                 stats.subsumed += 1
+                pruned.add(marker)
                 # The subsumer covers this query's answers but not
                 # necessarily its *descendants*: factorisation can
                 # merge atoms and unlock an existential rule that is
@@ -684,6 +695,7 @@ def legacy_rewrite(
         )
 
     seen: Set[ConjunctiveQuery] = {start.canonical()}
+    pruned: Set[ConjunctiveQuery] = set()
     kept: List[ConjunctiveQuery] = [start]
     depth_of: Dict[ConjunctiveQuery, int] = {start.canonical(): 0}
     worklist: List[Tuple[ConjunctiveQuery, int]] = [(start, 0)]
@@ -709,17 +721,24 @@ def legacy_rewrite(
             return
         marker = normal.canonical()
         if marker in seen:
-            stats.duplicates += 1
             if depth < depth_of.get(marker, depth):
                 depth_of[marker] = depth
-            return
-        seen.add(marker)
-        depth_of[marker] = depth
-        generated += 1
+            # see rewrite(): a pruned query re-arriving through a kept
+            # query's factorisation is resurrected — the non-prunable
+            # arrival must be kept or its rewrite steps never run
+            if prunable or marker not in pruned:
+                stats.duplicates += 1
+                return
+            pruned.discard(marker)
+        else:
+            seen.add(marker)
+            depth_of[marker] = depth
+            generated += 1
         if prunable and config.eager_subsumption:
             stats.subsumption_checks += len(kept)
             if any(cq_subsumes(existing, normal) for existing in kept):
                 stats.subsumed += 1
+                pruned.add(marker)
                 # see rewrite(): a pruned query's factorisations may
                 # unlock rules its subsumer never reaches — keep the
                 # factorisation closure alive.

@@ -34,6 +34,7 @@ for tests.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
@@ -44,17 +45,23 @@ from ..lf.structures import Structure
 from ..lf.terms import Constant, Null, Variable
 
 #: Bounded memo tables for the containment hot path; cleared wholesale
-#: when full (entries are cheap to rebuild).
+#: when full (entries are cheap to rebuild).  Shared across the server's
+#: worker threads: hits are lock-free dict probes; the size-check +
+#: insert on a miss runs under ``_CACHE_LOCK`` so a concurrent clear
+#: cannot interleave with an insert (a duplicate *compute* outside the
+#: lock is harmless — both threads produce the same value).
 _CACHE_MAXSIZE = 8192
 _NORMALIZE_CACHE: "Dict[ConjunctiveQuery, Optional[ConjunctiveQuery]]" = {}
 _FREEZE_CACHE: "Dict[ConjunctiveQuery, Tuple[Structure, Dict[Variable, object]]]" = {}
 _CACHE_ENABLED = True
+_CACHE_LOCK = threading.Lock()
 
 
 def clear_subsume_cache() -> None:
     """Empty the normalise/freeze memo tables (benchmarks and tests)."""
-    _NORMALIZE_CACHE.clear()
-    _FREEZE_CACHE.clear()
+    with _CACHE_LOCK:
+        _NORMALIZE_CACHE.clear()
+        _FREEZE_CACHE.clear()
 
 
 @contextmanager
@@ -78,9 +85,10 @@ def _normalized(query: ConjunctiveQuery) -> "Optional[ConjunctiveQuery]":
     except KeyError:
         pass
     result = normalize_equalities(query)
-    if len(_NORMALIZE_CACHE) >= _CACHE_MAXSIZE:
-        _NORMALIZE_CACHE.clear()
-    _NORMALIZE_CACHE[query] = result
+    with _CACHE_LOCK:
+        if len(_NORMALIZE_CACHE) >= _CACHE_MAXSIZE:
+            _NORMALIZE_CACHE.clear()
+        _NORMALIZE_CACHE[query] = result
     return result
 
 
@@ -93,9 +101,10 @@ def _frozen(query: ConjunctiveQuery) -> "Tuple[Structure, Dict[Variable, object]
     except KeyError:
         pass
     result = freeze(query)
-    if len(_FREEZE_CACHE) >= _CACHE_MAXSIZE:
-        _FREEZE_CACHE.clear()
-    _FREEZE_CACHE[query] = result
+    with _CACHE_LOCK:
+        if len(_FREEZE_CACHE) >= _CACHE_MAXSIZE:
+            _FREEZE_CACHE.clear()
+        _FREEZE_CACHE[query] = result
     return result
 
 

@@ -1,0 +1,58 @@
+"""``repro serve`` — the warm multi-tenant service front-end.
+
+A long-running server that keeps the amortizable state the one-shot
+CLI throws away — parsed theories, compiled join plans, subsume/type
+memos, finished rewriting artifacts, live incremental views — warm in
+per-tenant :class:`~repro.serve.session.TheorySession`s, and answers
+the same requests with the same JSON payloads as ``repro --json``.
+
+Wire protocol (one JSON object per line, both directions)
+---------------------------------------------------------
+Request::
+
+    {"id": 7, "op": "certain", "tenant": "team-a",
+     "theory": "E(x,y) -> exists z. E(y,z)", "database": "E(a,b)",
+     "query": "E(x,y), E(y,z)", "free": [],
+     "params": {"depth": 12, "wall_ms": 500, "store": "columnar"}}
+
+Response: the CLI ``--json`` payload for the same run (``command``,
+``status``, ``counts``, ``stopped_reason``, ``stats``, ``exit_code``,
+...) plus the envelope keys ``id`` (echoed), ``ok`` (``status !=
+"error"``), ``tenant``, and ``cached`` (on rewriting-artifact hits).
+Responses to pipelined requests may arrive out of order — match by
+``id``.  Guard trips degrade, never error: a request past its
+``wall_ms`` deadline still gets a well-formed payload with
+``stopped_reason: "deadline"`` and ``exit_code: 2`` from the shared
+exit-code table.
+
+Ops: ``ping``, ``chase``, ``certain``, ``rewrite``, ``classify``,
+``countermodel``, ``fc-search``, ``skeleton``, ``view-create``,
+``view-update``, ``view-query``, ``view-close``, ``session-close``,
+``cancel`` (``target``: the id to cancel), ``stats``, ``shutdown``.
+"""
+
+from .client import ServeClient
+from .config import ServeConfig
+from .jobs import JOB_HANDLERS, execute_request
+from .server import (
+    ReproServer,
+    ServerThread,
+    WORKER_THREAD_PREFIX,
+    run_server,
+    worker_thread_count,
+)
+from .session import SessionRegistry, TheorySession
+
+__all__ = [
+    "JOB_HANDLERS",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "SessionRegistry",
+    "TheorySession",
+    "WORKER_THREAD_PREFIX",
+    "execute_request",
+    "run_server",
+    "worker_thread_count",
+]

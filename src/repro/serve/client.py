@@ -1,0 +1,105 @@
+"""A small blocking client for the line-JSON protocol.
+
+Used by the test batteries, the benchmarks, and the CI smoke script —
+and handy interactively:
+
+>>> with ServeClient(("127.0.0.1", 7464)) as client:   # doctest: +SKIP
+...     client.request("chase", theory="E(x,y) -> E(y,x)", database="E(a,b)")
+
+Requests are tagged with auto-incrementing ``id``s.  :meth:`request`
+submits and waits for the matching response; :meth:`submit` /
+:meth:`response_for` expose the pipelined form (several requests in
+flight, responses claimed by id in any order — out-of-order arrivals
+are buffered).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServeClient:
+    """One blocking connection to a ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        address: "Optional[Tuple[str, int]]" = None,
+        path: "Optional[str]" = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if (address is None) == (path is None):
+            raise ValueError("pass exactly one of address=(host, port) or path=")
+        if path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(path)
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+            self._sock.settimeout(timeout)
+        self._reader = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._buffered: Dict[Any, Dict[str, Any]] = {}
+        self._untagged: List[Dict[str, Any]] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def send_raw(self, line: "str | bytes") -> None:
+        """Ship one already-encoded protocol line (malformed-input tests)."""
+        if isinstance(line, str):
+            line = line.encode()
+        self._sock.sendall(line.rstrip(b"\n") + b"\n")
+
+    def recv(self) -> Dict[str, Any]:
+        """The next response off the wire (or a buffered one)."""
+        if self._untagged:
+            return self._untagged.pop(0)
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # -- requests ------------------------------------------------------
+
+    def submit(self, op: str, **fields: Any) -> int:
+        """Send a request, return its id (pipelined; claim it later)."""
+        rid = next(self._ids)
+        request = {"op": op, "id": rid}
+        request.update(fields)
+        self.send_raw(json.dumps(request))
+        return rid
+
+    def response_for(self, rid: int) -> Dict[str, Any]:
+        """Block until the response tagged *rid* arrives."""
+        if rid in self._buffered:
+            return self._buffered.pop(rid)
+        while True:
+            response = self.recv()
+            got = response.get("id")
+            if got == rid:
+                return response
+            if got is None:
+                self._untagged.append(response)
+            else:
+                self._buffered[got] = response
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Submit and wait: the one-call form."""
+        return self.response_for(self.submit(op, **fields))
+
+    def ping(self) -> bool:
+        return self.request("ping").get("status") == "pong"
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

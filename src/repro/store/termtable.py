@@ -16,6 +16,7 @@ columns.  Unused entries waste only a dict slot and a list slot.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from ..lf.terms import Element
@@ -35,23 +36,37 @@ class TermTable:
     so its ``id`` cannot be recycled while the entry lives.
     """
 
-    __slots__ = ("_ids", "_elements", "_plans")
+    __slots__ = ("_ids", "_elements", "_plans", "_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Element, int] = {}
         self._elements: List[Element] = []
         self._plans: Dict[int, tuple] = {}
+        # Id allocation must be atomic: the table is shared across a
+        # whole copy() family, and the server chases copies of one
+        # cached columnar database from many worker threads at once.
+        # Without the lock two concurrent misses can read the same
+        # ``len(self._elements)`` and hand two elements one id.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._elements)
 
     def intern(self, element: Element) -> int:
-        """The element's id, allocating the next dense int if new."""
+        """The element's id, allocating the next dense int if new.
+
+        Thread-safe: the hit path is a lock-free dict probe (dict
+        reads are atomic and ids never change once published); only a
+        miss takes the allocation lock, re-checking under it.
+        """
         eid = self._ids.get(element)
         if eid is None:
-            eid = len(self._elements)
-            self._elements.append(element)
-            self._ids[element] = eid
+            with self._lock:
+                eid = self._ids.get(element)
+                if eid is None:
+                    eid = len(self._elements)
+                    self._elements.append(element)
+                    self._ids[element] = eid
         return eid
 
     def id_of(self, element: Element) -> Optional[int]:

@@ -1,0 +1,218 @@
+"""Server-equivalence battery: warm server ≡ fresh CLI run.
+
+The service contract is that ``repro serve`` answers exactly what the
+one-shot CLI would print for the same inputs — session caches, the
+artifact cache, and per-request guards must be *transparent*.  Each
+property here draws a random (theory, database, query) triple, asks a
+long-lived warm server and an in-process CLI invocation, and compares
+the full JSON payloads modulo the documented nondeterministic fields
+(wall times), the process-global ``stats.hom`` counters (polluted by
+whatever ran earlier on any thread), and the server's envelope keys.
+
+Both comparisons run in this one process on purpose: plan-cache
+warmth may legitimately steer tie-breaks in engines that pick *a*
+model/plan among equals, so cross-process runs could differ while both
+are correct.  Sharing the process pins the caches and makes equality
+exact.
+
+Every engine is exercised on both fact-store backends via the
+per-request ``params.store`` / CLI ``--store`` knob.
+"""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.cli import main as cli_main
+from repro.lf.io import query_to_text, theory_to_text
+from repro.serve import ServerThread
+from tests.property.strategies import (
+    bdd_theories,
+    open_conjunctive_queries,
+    theories,
+)
+from tests.test_cli_json import strip_timings
+
+pytestmark = pytest.mark.timeout(600)
+
+#: Keys the server adds on top of the CLI payload.
+ENVELOPE = {"id", "ok", "tenant", "cached"}
+
+STORES = ["dict", "columnar"]
+
+#: Constant-only database text (nulls cannot appear in CLI input).
+database_texts = st.lists(
+    st.one_of(
+        st.tuples(
+            st.sampled_from(["E", "R", "S"]),
+            st.sampled_from("abc"),
+            st.sampled_from("abc"),
+        ).map(lambda t: f"{t[0]}({t[1]},{t[2]})"),
+        st.tuples(
+            st.sampled_from(["U", "V"]), st.sampled_from("abc")
+        ).map(lambda t: f"{t[0]}({t[1]})"),
+    ),
+    min_size=1,
+    max_size=8,
+).map("\n".join)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(workers=2) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with server.client(timeout=300) as c:
+        yield c
+
+
+def cli_json(*argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main([*argv, "--json"])
+    return code, json.loads(out.getvalue())
+
+
+def canon(payload):
+    """Comparable core: no envelope, no wall times, no global counters."""
+
+    def scrub(node):
+        if isinstance(node, dict):
+            return {
+                k: scrub(v) for k, v in node.items() if k != "hom"
+            }
+        if isinstance(node, list):
+            return [scrub(item) for item in node]
+        return node
+
+    body = {k: v for k, v in payload.items() if k not in ENVELOPE}
+    return scrub(strip_timings(body))
+
+
+def free_names(query):
+    return [str(v) for v in query.free]
+
+
+def cli_free_args(query):
+    names = free_names(query)
+    return ["--free", ",".join(names)] if names else []
+
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestChaseParity:
+    @pytest.mark.parametrize("store", STORES)
+    @settings(max_examples=20, **COMMON)
+    @given(theory=theories(), database=database_texts)
+    def test_chase(self, client, store, theory, database):
+        text = theory_to_text(theory)
+        response = client.request(
+            "chase", theory=text, database=database,
+            params={"depth": 4, "store": store},
+        )
+        code, expected = cli_json(
+            "-e", "chase", text, database, "--depth", "4", "--store", store
+        )
+        assert canon(response) == canon(expected)
+        assert response["exit_code"] == code
+        assert response["ok"] is (expected["status"] != "error")
+
+
+class TestCertainParity:
+    @pytest.mark.parametrize("store", STORES)
+    @settings(max_examples=15, **COMMON)
+    @given(
+        theory=theories(),
+        database=database_texts,
+        query=open_conjunctive_queries(),
+    )
+    def test_certain(self, client, store, theory, database, query):
+        ttext, qtext = theory_to_text(theory), query_to_text(query)
+        response = client.request(
+            "certain", theory=ttext, database=database, query=qtext,
+            free=free_names(query), params={"depth": 4, "store": store},
+        )
+        code, expected = cli_json(
+            "-e", "certain", ttext, database, qtext,
+            *cli_free_args(query), "--depth", "4", "--store", store,
+        )
+        assert canon(response) == canon(expected)
+        assert response["exit_code"] == code
+
+
+class TestRewriteParity:
+    @settings(max_examples=15, **COMMON)
+    @given(theory=bdd_theories(), query=open_conjunctive_queries())
+    def test_rewrite(self, client, theory, query):
+        ttext, qtext = theory_to_text(theory), query_to_text(query)
+        response = client.request(
+            "rewrite", theory=ttext, query=qtext, free=free_names(query)
+        )
+        code, expected = cli_json(
+            "-e", "rewrite", ttext, qtext, *cli_free_args(query)
+        )
+        # the artifact cache may serve the repeat examples hypothesis
+        # generates — the body must be identical either way
+        assert canon(response) == canon(expected)
+        assert response["exit_code"] == code
+
+
+class TestFcSearchParity:
+    @pytest.mark.parametrize("store", STORES)
+    @settings(max_examples=10, **COMMON)
+    @given(
+        theory=bdd_theories(),
+        database=database_texts,
+        query=st.one_of(st.none(), open_conjunctive_queries(max_free=0)),
+    )
+    def test_fc_search(self, client, store, theory, database, query):
+        ttext = theory_to_text(theory)
+        qtext = query_to_text(query) if query is not None else None
+        fields = dict(theory=ttext, database=database,
+                      params={"max_elements": 4, "max_nodes": 2_000,
+                              "store": store})
+        argv = ["-e", "fc-search", ttext, database,
+                "--max-elements", "4", "--max-nodes", "2000",
+                "--store", store]
+        if qtext is not None:
+            fields["query"] = qtext
+            argv.insert(4, qtext)
+        response = client.request("fc-search", **fields)
+        code, expected = cli_json(*argv)
+        assert canon(response) == canon(expected)
+        assert response["exit_code"] == code
+
+
+class TestCountermodelParity:
+    @pytest.mark.parametrize("store", STORES)
+    @settings(max_examples=10, **COMMON)
+    @given(
+        theory=bdd_theories(),
+        database=database_texts,
+        query=open_conjunctive_queries(max_atoms=3),
+    )
+    def test_countermodel(self, client, store, theory, database, query):
+        ttext, qtext = theory_to_text(theory), query_to_text(query)
+        response = client.request(
+            "countermodel", theory=ttext, database=database, query=qtext,
+            free=free_names(query),
+            params={"depths": [1, 2], "store": store},
+        )
+        code, expected = cli_json(
+            "-e", "countermodel", ttext, database, qtext,
+            *cli_free_args(query), "--depths", "1,2", "--store", store,
+        )
+        assert canon(response) == canon(expected)
+        assert response["exit_code"] == code

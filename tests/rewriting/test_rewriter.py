@@ -258,3 +258,45 @@ class TestEmptyRewritingResult:
         assert result.max_width == 0
         assert "budget-exhausted" in str(result)
         assert "0 disjuncts" in str(result)
+
+
+class TestPrunedResurrection:
+    """Eager pruning must not veto a kept query's factorisation.
+
+    Regression: with ``E(x,y) -> exists z. R(x,z)`` and
+    ``R(x,y) -> E(x,x)``, the single-atom query ``R(x,w)`` first
+    reaches ``consider`` as a *rewrite product* (prunable — eagerly
+    pruned, the kept ``R & R`` disjunct subsumes it) and only later as
+    the expansion-time factorisation of that same ``R & R`` disjunct
+    (non-prunable — must be kept).  The pruned arrival's seen-marker
+    used to drop the second as a duplicate, so ``R(x,w)``'s own
+    rewrite step (to ``E(x,w)``) never ran and the eager rewriting
+    lost a disjunct the exact closure keeps.
+    """
+
+    THEORY = parse_theory(
+        """
+        E(x, y) -> exists z. R(x, z)
+        R(x, y) -> E(x, x)
+        """
+    )
+    QUERY = parse_query("E(x, x), R(x, y)", free=[])
+
+    def test_eager_keeps_resurrected_factorisation(self):
+        from repro.rewriting import legacy_rewrite, ucq_equivalent
+
+        for engine in (rewrite, legacy_rewrite):
+            eager = engine(
+                self.QUERY, self.THEORY,
+                config=RewriteConfig(eager_subsumption=True),
+            )
+            exact = engine(
+                self.QUERY, self.THEORY,
+                config=RewriteConfig(eager_subsumption=False),
+            )
+            assert eager.saturated and exact.saturated
+            assert ucq_equivalent(eager.ucq, exact.ucq)
+            # the disjunct the bug lost: any E edge certifies the query
+            assert answer_by_rewriting(
+                parse_structure("E(a,b)"), self.THEORY, self.QUERY
+            )

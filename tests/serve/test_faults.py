@@ -1,0 +1,194 @@
+"""Fault battery: SLA trips must degrade, never wedge.
+
+Every cell asserts the same three-part contract: the faulted request
+returns a *well-formed* JSON response carrying ``stopped_reason`` and
+the incomplete/interrupted exit code; the tenant session stays usable
+afterwards; and the worker pool neither grows nor leaks threads.
+
+Deadline and memory trips use the real guard paths (a ``wall_ms: 0``
+budget, a 1 MB RSS ceiling).  The injected variants use
+``repro.testing.inject_fault`` — the hook is process-wide and
+non-nestable, so those tests run requests strictly serially while the
+hook is installed (pytest runs this file single-threaded; the shared
+server's pool only sees our own requests).
+"""
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread, worker_thread_count
+from repro.testing import inject_fault
+
+pytestmark = pytest.mark.timeout(120)
+
+LINEAR = "E(x,y) -> exists z. E(y,z)"
+NONTERM = "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> E(x,z)"
+EXAMPLE7 = "E(x,y) -> exists z. E(y,z)\nE(x,y), E(u,y) -> R(x,u)"
+DB = "E(a,b)"
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(workers=WORKERS) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with server.client() as c:
+        yield c
+
+
+def assert_session_usable(client, tenant):
+    """The recovery half of every fault test: same tenant, next request."""
+    assert client.request("ping", tenant=tenant)["status"] == "pong"
+    again = client.request(
+        "chase", theory=LINEAR, database=DB, tenant=tenant,
+        params={"depth": 2},
+    )
+    assert again["status"] == "truncated"
+    assert again["ok"] is True
+
+
+def assert_pool_intact():
+    count = worker_thread_count()
+    assert 0 < count <= WORKERS
+
+
+class TestDeadline:
+    def test_chase_deadline_budget(self, client):
+        response = client.request(
+            "chase", theory=NONTERM, database=DB, tenant="deadline",
+            params={"depth": 10_000, "wall_ms": 0},
+        )
+        assert response["status"] == "truncated"
+        assert response["stopped_reason"] == "deadline"
+        assert response["exit_code"] == 2
+        assert response["ok"] is True  # degraded, not failed
+        assert_session_usable(client, "deadline")
+        assert_pool_intact()
+
+    def test_injected_chase_deadline(self, client):
+        with inject_fault("chase", "deadline") as injector:
+            response = client.request(
+                "chase", theory=LINEAR, database=DB, tenant="deadline-inj",
+                params={"depth": 8},
+            )
+        assert injector.tripped
+        assert response["stopped_reason"] == "deadline"
+        assert response["exit_code"] == 2
+        assert_session_usable(client, "deadline-inj")
+        assert_pool_intact()
+
+    def test_injected_rewrite_deadline(self, client):
+        with inject_fault("rewrite", "deadline"):
+            response = client.request(
+                "rewrite", theory=EXAMPLE7, query="R(x,u)",
+                free=["x", "u"], tenant="deadline-inj",
+            )
+        assert response["status"] == "budget-exhausted"
+        assert response["stopped_reason"] == "deadline"
+        assert response["exit_code"] == 2
+        # a budget-truncated rewriting must NOT enter the artifact cache
+        retry = client.request(
+            "rewrite", theory=EXAMPLE7, query="R(x,u)",
+            free=["x", "u"], tenant="deadline-inj",
+        )
+        assert retry["status"] == "saturated"
+        assert "cached" not in retry
+        assert_pool_intact()
+
+
+class TestMemory:
+    def test_chase_rss_ceiling(self, client):
+        response = client.request(
+            "chase", theory=NONTERM, database=DB, tenant="memory",
+            params={"depth": 10_000, "max_rss_mb": 1},
+        )
+        assert response["status"] == "truncated"
+        assert response["stopped_reason"] == "memory"
+        assert response["exit_code"] == 2
+        assert_session_usable(client, "memory")
+        assert_pool_intact()
+
+    def test_injected_fc_search_memory(self, client):
+        with inject_fault("fc-search", "memory"):
+            response = client.request(
+                "fc-search", theory=LINEAR, database=DB, query="E(x,x)",
+                tenant="memory-inj",
+            )
+        assert response["stopped_reason"] == "memory"
+        assert response["exit_code"] == 2
+        assert_session_usable(client, "memory-inj")
+        assert_pool_intact()
+
+
+class TestCancellation:
+    def test_cancel_op_unwinds_long_search(self, client):
+        tenant = "cancel"
+        rid = client.submit(
+            "fc-search", theory=NONTERM, database=DB, query="E(x,x)",
+            tenant=tenant,
+            params={"max_elements": 30, "max_nodes": 100_000_000},
+        )
+        ack = client.request("cancel", target=rid)
+        assert ack["status"] == "cancelling"
+        assert ack["counts"]["cancelled"] == 1
+        response = client.response_for(rid)
+        assert response["stopped_reason"] == "cancelled"
+        assert response["exit_code"] == 130
+        assert response["ok"] is True
+        assert_session_usable(client, tenant)
+        assert_pool_intact()
+
+    def test_cancel_unknown_id(self, client):
+        ack = client.request("cancel", target=99999)
+        assert ack["status"] == "not-found"
+        assert ack["counts"]["cancelled"] == 0
+
+    def test_disconnect_cancels_inflight(self, server, client):
+        # a client that vanishes mid-job must not pin a worker forever
+        doomed = server.client()
+        doomed.submit(
+            "fc-search", theory=NONTERM, database=DB, query="E(x,x)",
+            tenant="disconnect",
+            params={"max_elements": 30, "max_nodes": 100_000_000},
+        )
+        import time
+        for _ in range(100):  # until the job is counted in flight
+            if server.server._jobs:
+                break
+            time.sleep(0.05)
+        before = server.server.cancelled
+        doomed.close()
+        for _ in range(200):  # the reader notices EOF, trips the token
+            if server.server.cancelled > before and not server.server._jobs:
+                break
+            time.sleep(0.05)
+        assert server.server.cancelled > before
+        assert not server.server._jobs
+        assert_session_usable(client, "disconnect")
+        assert_pool_intact()
+
+
+class TestThreadHygiene:
+    def test_no_threads_after_shutdown(self):
+        with ServerThread(workers=2) as handle:
+            with handle.client() as client:
+                client.request("chase", theory=LINEAR, database=DB,
+                               params={"depth": 2})
+                assert 0 < worker_thread_count() <= 2 + WORKERS
+        # our pool is gone; the module server's (if booted) may remain
+        assert worker_thread_count() <= WORKERS
+
+    def test_faulted_jobs_leave_no_extra_threads(self, client):
+        baseline = worker_thread_count()
+        for _ in range(3 * WORKERS):
+            response = client.request(
+                "chase", theory=NONTERM, database=DB, tenant="hygiene",
+                params={"depth": 10_000, "wall_ms": 0},
+            )
+            assert response["stopped_reason"] == "deadline"
+        assert worker_thread_count() <= max(baseline, WORKERS)
+        assert_session_usable(client, "hygiene")

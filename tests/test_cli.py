@@ -304,3 +304,123 @@ class TestFcSearch:
         )
         assert code == 0
         assert "canonical_keys=0" in out
+
+
+class TestServe:
+    """The serve subcommand end-to-end: real process, real sockets.
+
+    Protocol/session behaviour is covered in-process by
+    ``tests/serve``; here we pin what only a subprocess shows — the
+    readiness announcement, and SIGTERM → drain → exit 130.
+    """
+
+    pytestmark = pytest.mark.timeout(120)
+
+    @staticmethod
+    def _spawn(*extra_args):
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--json",
+             "--port", "0", "--workers", "1", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+        except Exception:
+            proc.kill()
+            raise
+        return proc, ready
+
+    def test_json_readiness_announcement(self):
+        proc, ready = self._spawn()
+        try:
+            assert ready["command"] == "serve"
+            assert ready["status"] == "ready"
+            assert ready["host"] == "127.0.0.1"
+            assert ready["port"] > 0  # --port 0 reports the actual bind
+            assert ready["workers"] == 1
+            assert ready["pid"] == proc.pid
+        finally:
+            proc.terminate()
+            assert proc.wait(timeout=30) == 130
+
+    def test_text_readiness_line(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+        import os
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("# repro serve ready on 127.0.0.1:")
+            assert "workers=1" in line
+        finally:
+            proc.terminate()
+            assert proc.wait(timeout=30) == 130
+
+    def test_requests_over_the_wire(self):
+        from repro.serve import ServeClient
+
+        proc, ready = self._spawn()
+        try:
+            with ServeClient(("127.0.0.1", ready["port"]), timeout=60) as c:
+                assert c.ping()
+                response = c.request(
+                    "chase", theory=LINEAR, database=DB,
+                    params={"depth": 3},
+                )
+                assert response["command"] == "chase"
+                assert response["status"] == "truncated"
+                assert response["counts"]["facts"] == 4
+                assert response["ok"] is True
+                assert response["exit_code"] == 0
+        finally:
+            proc.terminate()
+            assert proc.wait(timeout=30) == 130
+
+    def test_sigterm_drains_inflight_then_130(self):
+        import time
+
+        from repro.serve import ServeClient
+
+        nonterm = "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> E(x,z)"
+        proc, ready = self._spawn("--drain-ms", "500")
+        try:
+            with ServeClient(("127.0.0.1", ready["port"]), timeout=60) as c:
+                assert c.ping()  # the connection is accepted and live
+                rid = c.submit(
+                    "fc-search", theory=nonterm, database=DB,
+                    query="E(x,x)",
+                    params={"max_elements": 30,
+                            "max_nodes": 100_000_000},
+                )
+                time.sleep(0.5)  # the single worker picks the job up
+                proc.terminate()
+                # drain: the in-flight search is cancelled, its partial
+                # response still arrives before the socket closes
+                response = c.response_for(rid)
+                assert response["stopped_reason"] == "cancelled"
+                assert response["exit_code"] == 130
+            assert proc.wait(timeout=30) == 130
+            assert proc.stderr.read() == ""
+        finally:
+            if proc.poll() is None:
+                proc.kill()
