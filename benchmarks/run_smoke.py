@@ -53,6 +53,17 @@ a >= 2x columnar speedup on the structural workloads (branching and
 restriction), where COW copies and shared relations beat the dict
 backend's per-fact index rebuilds.
 
+It also writes ``BENCH_resil.json``: the overload-resilience
+scoreboard.  Three tenant connections fire a paced 4x-capacity burst
+of chase requests at a ``repro serve`` instance for a fixed window,
+once with the admission controller (bounded queues, load shedding,
+queue deadlines) and once unprotected (``admission_disabled=True``,
+the bare executor queue).  The metric is *goodput* — requests answered
+OK within ``SERVE_SLA_MS`` of submission — plus the accepted p99 and
+the shed-latency p99; the acceptance bar (``bar_x``) is a >= 2x
+goodput advantage for the admission mode under the identical burst,
+with its accepted p99 under the SLA.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_smoke.py          # reduced sizes
@@ -155,6 +166,14 @@ SERVE_SLA_MS = 1000.0
 #: the run, so the guarded/unguarded gap is pure bookkeeping overhead.
 GUARD_ON = {"wall_ms": 3_600_000.0, "max_rss_mb": 1_000_000.0}
 GUARD_OVERHEAD_BAR_PCT = 2.0
+
+RESIL_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_resil.json"
+
+#: BENCH_resil acceptance bar: under the same sustained 4x-capacity
+#: multi-tenant burst, the admission-controlled server's goodput
+#: (requests answered OK *within the SLA*) must be at least this much
+#: higher than the unprotected (unbounded executor queue) server's.
+RESIL_GOODPUT_BAR_X = 2.0
 
 
 def timed(fn, repeat):
@@ -972,6 +991,181 @@ def serve_entries(full, repeat):
     return entries, speedups
 
 
+def resil_entries(full, repeat):
+    """The BENCH_resil scoreboard: (entries, speedups).
+
+    Goodput under a sustained 4x-capacity multi-tenant burst, with and
+    without the admission controller.  The workload is the transitive-
+    closure chase through serve (tens of ms per request, measured
+    serially per run to calibrate the burst rate); three tenant
+    connections submit a paced open-loop burst for a fixed window while
+    reader threads timestamp every response as it arrives.
+
+    *Goodput* is the number of requests answered ``ok`` within
+    ``SERVE_SLA_MS`` of their *submission* (queue time counts — the
+    client experience, not the worker's).  The unprotected mode
+    (``admission_disabled=True``) queues everything in the executor, so
+    late answers are answered but worthless; the admission mode sheds
+    early (bounded queues + queue deadlines) and keeps the accepted
+    requests' latency under the SLA.  The acceptance bar is
+    ``RESIL_GOODPUT_BAR_X`` on goodput, with the admission mode's
+    accepted p99 under the SLA; the shed-latency p99 (how fast a shed
+    request learns its fate) is reported alongside.
+    """
+    import socket
+    import threading
+
+    from repro.lf.io import atom_to_text, theory_to_text
+    from repro.serve import ServeConfig, ServerThread
+
+    workers = 2
+    tenants = ("alpha", "beta", "gamma")
+    size, edges = (30, 60) if full else (20, 40)
+    duration_s = 4.0 if full else 3.0
+    sla_s = SERVE_SLA_MS / 1000.0
+    ttext = theory_to_text(transitive_theory())
+    db = random_edges_database(size, edges, seed=42)
+    dtext = "\n".join(atom_to_text(f) for f in sorted(db.facts(), key=str))
+
+    def fire(client, tenant):
+        return client.submit("chase", tenant=tenant, theory=ttext,
+                             database=dtext, params={"depth": 4})
+
+    def calibrate():
+        """Steady-state service time, measured serially on a quiet
+        server — both modes burst at the same rate derived from it."""
+        with ServerThread(ServeConfig(workers=workers)) as handle:
+            with handle.client(timeout=60) as client:
+                client.response_for(fire(client, "calibrate"))  # warm
+                samples = []
+                for _ in range(7):
+                    start = time.perf_counter()
+                    response = client.response_for(fire(client, "calibrate"))
+                    assert response["ok"], response
+                    samples.append(time.perf_counter() - start)
+        return max(statistics.median(samples), 1e-3)
+
+    def burst(mode, rate):
+        if mode == "admission":
+            # A short queue: accepted requests must clear well inside
+            # the SLA even with the workers GIL-serialised under load.
+            config = ServeConfig(workers=workers, wall_ms=SERVE_SLA_MS,
+                                 max_pending=2 * workers)
+        else:
+            config = ServeConfig(workers=workers, wall_ms=SERVE_SLA_MS,
+                                 admission_disabled=True)
+        total = max(workers * 4, int(rate * duration_s))
+        records = {}
+        with ServerThread(config) as handle:
+            clients = [handle.client(timeout=60) for _ in tenants]
+            try:
+                # Warm each tenant's session caches before the clock runs.
+                for client, tenant in zip(clients, tenants):
+                    response = client.response_for(fire(client, tenant))
+                    assert response["ok"], response
+
+                expected = [0] * len(clients)
+                done = threading.Event()
+                lock = threading.Lock()
+
+                def read_all(index, client):
+                    seen = 0
+                    while True:
+                        if done.is_set():
+                            with lock:
+                                if seen >= expected[index]:
+                                    return
+                        try:
+                            response = client.recv()
+                        except socket.timeout:
+                            continue  # re-check the exit condition
+                        arrival = time.perf_counter()
+                        with lock:
+                            rec = records.setdefault(
+                                (index, response["id"]), {})
+                            rec["response"] = response
+                            rec["recv"] = arrival
+                        seen += 1
+
+                readers = [
+                    threading.Thread(target=read_all, args=(i, client),
+                                     name=f"resil-reader-{i}", daemon=True)
+                    for i, client in enumerate(clients)
+                ]
+                for reader in readers:
+                    reader.start()
+                # The paced open-loop burst, round-robin across tenants.
+                begin = time.perf_counter()
+                for i in range(total):
+                    delay = begin + i / rate - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    index = i % len(clients)
+                    submitted = time.perf_counter()
+                    rid = fire(clients[index], tenants[index])
+                    with lock:
+                        rec = records.setdefault((index, rid), {})
+                        rec["submit"] = submitted
+                        expected[index] += 1
+                done.set()
+                for reader in readers:
+                    reader.join(timeout=300)
+                    assert not reader.is_alive(), "resil reader wedged"
+            finally:
+                for client in clients:
+                    client.close()
+        return records
+
+    def p99_ms(samples):
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return round(ordered[index] * 1000.0, 3)
+
+    def entry(mode, records, rate, svc_s):
+        ok_latencies = []
+        shed_latencies = []
+        for rec in records.values():
+            response = rec["response"]
+            assert isinstance(response.get("ok"), bool), response
+            latency = rec["recv"] - rec["submit"]
+            if response["ok"]:
+                ok_latencies.append(latency)
+            else:
+                assert response["error"] in (
+                    "overloaded", "queue_deadline"), response
+                if response["error"] == "overloaded":
+                    assert isinstance(response["retry_after_ms"], int)
+                shed_latencies.append(latency)
+        goodput = sum(1 for latency in ok_latencies if latency <= sla_s)
+        return {
+            "workload": f"tc-burst-{size}n{edges}e",
+            "mode": mode,
+            "submitted": len(records),
+            "rate_per_s": round(rate, 1),
+            "svc_ms": round(svc_s * 1000.0, 3),
+            "ok": len(ok_latencies),
+            "shed": len(shed_latencies),
+            "goodput": goodput,
+            "goodput_per_s": round(goodput / duration_s, 2),
+            "accepted_p99_ms": p99_ms(ok_latencies),
+            "shed_p99_ms": p99_ms(shed_latencies),
+        }
+
+    svc_s = calibrate()
+    rate = min(400.0, 4.0 * workers / svc_s)  # 4x nominal capacity
+    protected = entry("admission", burst("admission", rate), rate, svc_s)
+    unprotected = entry(
+        "unprotected", burst("unprotected", rate), rate, svc_s)
+    entries = [protected, unprotected]
+    speedups = {
+        "goodput_4x_burst": round(
+            protected["goodput"] / max(unprotected["goodput"], 1), 2),
+    }
+    return entries, speedups
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -986,6 +1180,7 @@ def main(argv=None):
     parser.add_argument("--store-output", type=Path, default=STORE_OUTPUT)
     parser.add_argument("--incr-output", type=Path, default=INCR_OUTPUT)
     parser.add_argument("--serve-output", type=Path, default=SERVE_OUTPUT)
+    parser.add_argument("--resil-output", type=Path, default=RESIL_OUTPUT)
     args = parser.parse_args(argv)
 
     depth = 40 if args.full else 20
@@ -1175,6 +1370,28 @@ def main(argv=None):
         print(f"cold/warm speedup, {name}: {factor}x "
               f"(bar: {SERVE_SPEEDUP_BAR_X}x)")
     print(f"wrote {args.serve_output}")
+
+    resil_entry_list, resil_speedups = resil_entries(args.full, args.repeat)
+    resil_payload = {
+        "mode": "full" if args.full else "reduced",
+        "repeat": args.repeat,
+        "bar_x": RESIL_GOODPUT_BAR_X,
+        "sla_ms": SERVE_SLA_MS,
+        "entries": resil_entry_list,
+        "speedups": resil_speedups,
+    }
+    args.resil_output.write_text(
+        json.dumps(resil_payload, indent=2, sort_keys=True) + "\n")
+    for entry in resil_entry_list:
+        print(f"{entry['workload']:>34} {entry['mode']:>20} "
+              f"goodput={entry['goodput']}/{entry['submitted']} "
+              f"({entry['goodput_per_s']}/s)  "
+              f"accepted_p99={entry['accepted_p99_ms']}ms "
+              f"shed={entry['shed']} shed_p99={entry['shed_p99_ms']}ms")
+    for name, factor in resil_speedups.items():
+        print(f"admission/unprotected goodput, {name}: {factor}x "
+              f"(bar: {RESIL_GOODPUT_BAR_X}x)")
+    print(f"wrote {args.resil_output}")
     return 0
 
 

@@ -411,6 +411,21 @@ def _cmd_skeleton(args) -> int:
     return code
 
 
+def _serve_env_int(name: str, fallback: "Optional[int]") -> "Optional[int]":
+    """An integer default from the environment (``repro serve`` quotas)."""
+    import os
+
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return fallback
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"repro serve: ${name} must be an integer, got {value!r}"
+        ) from None
+
+
 def _cmd_serve(args) -> int:
     from .serve import ServeConfig, run_server
 
@@ -424,6 +439,10 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         max_sessions=args.max_sessions,
         drain_ms=args.drain_ms,
+        max_pending=args.max_pending,
+        tenant_max_pending=args.tenant_max_pending,
+        tenant_max_inflight=args.tenant_max_inflight,
+        admission_disabled=args.no_admission,
         wall_ms=wall_ms,
         max_rss_mb=args.max_rss_mb,
         store=args.store,
@@ -441,6 +460,8 @@ def _cmd_serve(args) -> int:
                 "path": config.path,
                 "workers": config.workers,
                 "request_wall_ms": config.wall_ms,
+                "max_pending": config.max_pending,
+                "admission": not config.admission_disabled,
                 "pid": os.getpid(),
             }, sort_keys=True, default=str))
         else:
@@ -598,12 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="warm multi-tenant service (line-JSON over TCP/Unix socket)",
         parents=[global_flags],
-        epilog="SIGTERM/SIGINT: stop accepting, drain in-flight requests "
-               "(up to --drain-ms, then cancel them cooperatively), exit "
-               "130. The readiness line reports the bound port (use "
+        epilog="SIGTERM/SIGINT: stop accepting, answer queued requests "
+               "with a draining error, drain in-flight requests (up to "
+               "--drain-ms, then cancel them cooperatively), exit 130. "
+               "A bind failure prints one JSON line to stderr and exits "
+               "1. The readiness line reports the bound port (use "
                "--port 0 for an ephemeral one). --wall-ms acts as the "
                "default per-request SLA when --request-wall-ms is not "
-               "given; --max-rss-mb is the shared soft ceiling.",
+               "given (queue time counts: the deadline starts at "
+               "admission); --max-rss-mb is the shared soft ceiling. "
+               "Requests past the admission bounds are shed immediately "
+               "with error 'overloaded' and a retry_after_ms hint.",
     )
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=7464,
@@ -619,6 +645,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--request-wall-ms", type=float, default=None,
                            metavar="MS",
                            help="default per-request SLA deadline")
+    serve_cmd.add_argument(
+        "--max-pending", type=int,
+        default=_serve_env_int("REPRO_SERVE_MAX_PENDING", 1024),
+        help="global bound on queued requests before shedding "
+             "(default $REPRO_SERVE_MAX_PENDING, else 1024)")
+    serve_cmd.add_argument(
+        "--tenant-max-pending", type=int,
+        default=_serve_env_int("REPRO_SERVE_TENANT_MAX_PENDING", None),
+        help="per-tenant queue bound (default "
+             "$REPRO_SERVE_TENANT_MAX_PENDING, else --max-pending)")
+    serve_cmd.add_argument(
+        "--tenant-max-inflight", type=int,
+        default=_serve_env_int("REPRO_SERVE_TENANT_MAX_INFLIGHT", None),
+        help="per-tenant bound on concurrently-running requests "
+             "(default $REPRO_SERVE_TENANT_MAX_INFLIGHT, else --workers)")
+    serve_cmd.add_argument(
+        "--no-admission", action="store_true", default=False,
+        help="disable admission control (unbounded executor queue; the "
+             "benchmark ablation baseline — not for production)")
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     return parser

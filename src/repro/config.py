@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Any, Optional, Type, TypeVar
 from .store.backend import StoreBackend, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .runtime.guard import CancelToken
+    from .runtime.guard import CancelToken, Deadline
 
 E = TypeVar("E", bound="Enum")
 C = TypeVar("C", bound="BudgetedConfig")
@@ -140,6 +140,14 @@ class BudgetedConfig:
         Monotonic wall-clock budget for the whole run, in milliseconds
         (``None`` = no deadline).  Checked at every engine checkpoint
         by the run's :class:`~repro.runtime.RuntimeGuard`.
+    deadline:
+        An already-ticking :class:`~repro.runtime.Deadline` to run
+        under instead of starting a fresh ``wall_ms`` budget.  This is
+        how ``repro serve`` makes queue time count: the admission layer
+        starts the deadline when a request is *admitted*, and the
+        worker's guard inherits it, so a request that waited 400ms of a
+        500ms SLA has 100ms of engine budget left.  When set it wins
+        over ``wall_ms``.
     max_rss_mb:
         Soft ceiling on the process's peak RSS in MiB (``None`` = no
         ceiling).  Polled cheaply every few checkpoints via
@@ -170,11 +178,17 @@ class BudgetedConfig:
     cancel_token: "Optional[CancelToken]" = None
     guards_disabled: bool = False
     store: "Optional[StoreBackend]" = None
+    deadline: "Optional[Deadline]" = None
 
     def __post_init__(self) -> None:
         self.on_budget = OnBudget.coerce(self.on_budget)
         if self.store is not None:
             self.store = coerce_enum(self.store, StoreBackend, "store")
+        if self.deadline is not None and not hasattr(self.deadline, "expired"):
+            raise ValueError(
+                f"deadline must be a repro.runtime.Deadline, got "
+                f"{self.deadline!r}"
+            )
         if self.wall_ms is not None and self.wall_ms < 0:
             raise ValueError(f"wall_ms must be >= 0, got {self.wall_ms}")
         if self.max_rss_mb is not None and self.max_rss_mb <= 0:

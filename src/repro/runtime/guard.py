@@ -324,32 +324,43 @@ class RuntimeGuard:
         """Build the run's guard from a :class:`~repro.config.BudgetedConfig`.
 
         Reads the shared guard fields (``wall_ms``, ``max_rss_mb``,
-        ``cancel_token``, ``guards_disabled``) by attribute, so any
-        config-like object works.  Returns the shared :data:`NULL_GUARD`
-        when nothing could ever trip (or ``guards_disabled`` is set —
-        the benchmark ablation switch, which also wins over an
-        installed fault hook); otherwise an active guard.  A config
-        without an explicit ``cancel_token`` picks up the ambient token
-        installed by :func:`cancellation_scope` (the CLI's Ctrl-C
-        path).
+        ``cancel_token``, ``guards_disabled``, ``deadline``) by
+        attribute, so any config-like object works.  Returns the shared
+        :data:`NULL_GUARD` when nothing could ever trip (or
+        ``guards_disabled`` is set — the benchmark ablation switch,
+        which also wins over an installed fault hook); otherwise an
+        active guard.  A config without an explicit ``cancel_token``
+        picks up the ambient token installed by
+        :func:`cancellation_scope` (the CLI's Ctrl-C path).
+
+        A config may carry an already-ticking :class:`Deadline` on
+        ``deadline`` instead of a fresh ``wall_ms`` budget; it wins
+        over ``wall_ms``.  This is the queue-deadline path of ``repro
+        serve``: the admission layer starts the deadline when a request
+        is admitted, so time spent queued counts against the request's
+        wall budget.
         """
         if getattr(config, "guards_disabled", False):
             return NULL_GUARD
+        preset = getattr(config, "deadline", None)
         wall_ms = getattr(config, "wall_ms", None)
         max_rss_mb = getattr(config, "max_rss_mb", None)
         token = getattr(config, "cancel_token", None)
         if token is None:
             token = _AMBIENT_TOKEN
         if (
-            wall_ms is None
+            preset is None
+            and wall_ms is None
             and max_rss_mb is None
             and token is None
             and _FAULT_HOOK is None
         ):
             return NULL_GUARD
+        if preset is None:
+            preset = None if wall_ms is None else Deadline(wall_ms)
         return cls(
             engine=engine,
-            deadline=None if wall_ms is None else Deadline(wall_ms),
+            deadline=preset,
             token=token,
             max_rss_mb=max_rss_mb,
         )

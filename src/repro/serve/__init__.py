@@ -28,12 +28,30 @@ exit-code table.
 Ops: ``ping``, ``chase``, ``certain``, ``rewrite``, ``classify``,
 ``countermodel``, ``fc-search``, ``skeleton``, ``view-create``,
 ``view-update``, ``view-query``, ``view-close``, ``session-close``,
-``cancel`` (``target``: the id to cancel), ``stats``, ``shutdown``.
+``cancel`` (``target``: the id to cancel), ``stats``, ``health``
+(liveness + queue depth), ``metrics`` (full admission/shed/tenant
+snapshot), ``shutdown``.
+
+Overload: engine requests pass through the
+:class:`~repro.serve.admission.AdmissionController` (bounded global
+and per-tenant queues, weighted round-robin dispatch).  Over-limit
+requests are shed immediately with ``{"ok": false, "error":
+"overloaded", "retry_after_ms": ...}``; an admitted request's
+``wall_ms`` deadline starts ticking at admission, so queue time counts
+and a request that expires before dispatch is shed with
+``stopped_reason: "deadline"``.  :meth:`ServeClient.request_with_retry`
+is the matching client-side backoff loop.
 """
 
-from .client import ServeClient
+from .admission import AdmissionController, Pending
+from .client import (
+    IDEMPOTENT_OPS,
+    ServeClient,
+    ServeOverloaded,
+    ServeTimeout,
+)
 from .config import ServeConfig
-from .jobs import JOB_HANDLERS, execute_request
+from .jobs import JOB_HANDLERS, execute_request, set_serve_fault_hook
 from .server import (
     ReproServer,
     ServerThread,
@@ -44,15 +62,21 @@ from .server import (
 from .session import SessionRegistry, TheorySession
 
 __all__ = [
+    "AdmissionController",
+    "IDEMPOTENT_OPS",
     "JOB_HANDLERS",
+    "Pending",
     "ReproServer",
     "ServeClient",
     "ServeConfig",
+    "ServeOverloaded",
+    "ServeTimeout",
     "ServerThread",
     "SessionRegistry",
     "TheorySession",
     "WORKER_THREAD_PREFIX",
     "execute_request",
     "run_server",
+    "set_serve_fault_hook",
     "worker_thread_count",
 ]

@@ -11,14 +11,76 @@ submits and waits for the matching response; :meth:`submit` /
 :meth:`response_for` expose the pipelined form (several requests in
 flight, responses claimed by id in any order — out-of-order arrivals
 are buffered).
+
+Overload handling: a server under load sheds requests with
+``{"ok": false, "error": "overloaded", "retry_after_ms": ...}``.
+:meth:`request_with_retry` turns that into capped exponential backoff
+with deterministic (seedable) jitter — it honours the server's
+``retry_after_ms`` hint, retries only :data:`IDEMPOTENT_OPS`, and
+raises :class:`ServeOverloaded` once the retry cap is spent.  A socket
+read timeout while waiting on a response surfaces as
+:class:`ServeTimeout` naming the request id(s) still pending, instead
+of a bare ``socket.timeout`` with no context.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Ops safe to resend after a shed or timeout: they mutate nothing (or
+#: are pure reads of server state).  ``view-update`` / ``view-create``
+#: / ``session-close`` are absent by design — replaying those could
+#: double-apply a delta.
+IDEMPOTENT_OPS = frozenset({
+    "ping", "stats", "health", "metrics",
+    "chase", "certain", "rewrite", "classify",
+    "countermodel", "fc-search", "skeleton", "view-query",
+})
+
+
+class ServeTimeout(ReproError):
+    """The socket timed out while responses were still pending.
+
+    ``pending_ids`` names every submitted-but-unanswered request id at
+    the moment of the timeout (the one being waited on plus any other
+    pipelined submissions).
+    """
+
+    def __init__(self, waiting_for: Any, pending_ids: "List[Any]") -> None:
+        self.waiting_for = waiting_for
+        self.pending_ids = list(pending_ids)
+        ids = ", ".join(repr(rid) for rid in self.pending_ids) or repr(
+            waiting_for
+        )
+        super().__init__(
+            f"timed out waiting for response to request id {waiting_for!r} "
+            f"(pending ids: {ids})"
+        )
+
+
+class ServeOverloaded(ReproError):
+    """The server kept shedding the request past the retry cap.
+
+    Carries the final shed response (``response``) and how many
+    attempts were made (``attempts``).
+    """
+
+    def __init__(self, op: str, attempts: int, response: Dict[str, Any]) -> None:
+        self.op = op
+        self.attempts = attempts
+        self.response = dict(response)
+        retry_after = response.get("retry_after_ms")
+        super().__init__(
+            f"server overloaded: op {op!r} shed after {attempts} "
+            f"attempt(s) (last retry_after_ms: {retry_after!r})"
+        )
 
 
 class ServeClient:
@@ -43,6 +105,7 @@ class ServeClient:
         self._ids = itertools.count(1)
         self._buffered: Dict[Any, Dict[str, Any]] = {}
         self._untagged: List[Dict[str, Any]] = []
+        self._pending: "Dict[Any, None]" = {}  # insertion-ordered id set
 
     # -- plumbing ------------------------------------------------------
 
@@ -69,25 +132,80 @@ class ServeClient:
         request = {"op": op, "id": rid}
         request.update(fields)
         self.send_raw(json.dumps(request))
+        self._pending[rid] = None
         return rid
 
     def response_for(self, rid: int) -> Dict[str, Any]:
-        """Block until the response tagged *rid* arrives."""
+        """Block until the response tagged *rid* arrives.
+
+        A socket read timeout raises :class:`ServeTimeout` naming every
+        still-pending request id, not a bare ``socket.timeout``.
+        """
         if rid in self._buffered:
+            self._pending.pop(rid, None)
             return self._buffered.pop(rid)
         while True:
-            response = self.recv()
+            try:
+                response = self.recv()
+            except socket.timeout:
+                raise ServeTimeout(rid, list(self._pending)) from None
             got = response.get("id")
             if got == rid:
+                self._pending.pop(rid, None)
                 return response
             if got is None:
                 self._untagged.append(response)
             else:
+                self._pending.pop(got, None)
                 self._buffered[got] = response
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Submit and wait: the one-call form."""
         return self.response_for(self.submit(op, **fields))
+
+    def request_with_retry(
+        self,
+        op: str,
+        max_retries: int = 4,
+        base_delay_ms: float = 50.0,
+        max_delay_ms: float = 2000.0,
+        seed: "Optional[int]" = None,
+        sleep=time.sleep,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """:meth:`request`, but ride out ``overloaded`` sheds.
+
+        On a shed response the client sleeps and resubmits, up to
+        *max_retries* retries.  The delay before attempt *n* is the
+        larger of the server's ``retry_after_ms`` hint and the
+        exponential backoff ``base_delay_ms * 2**n``, jittered
+        multiplicatively into ``[1.0, 1.5)`` and capped at
+        *max_delay_ms*.  The jitter stream comes from
+        ``random.Random(seed)``, so a seeded call sleeps a reproducible
+        schedule (the chaos battery relies on this); *sleep* is
+        injectable for tests that must not wait in real time.
+
+        Non-idempotent ops (not in :data:`IDEMPOTENT_OPS`) are never
+        resent — their first shed raises :class:`ServeOverloaded`
+        immediately, as does exhausting the retry cap.
+        """
+        rng = random.Random(seed)
+        attempts = 0
+        while True:
+            response = self.request(op, **fields)
+            attempts += 1
+            if response.get("error") != "overloaded":
+                return response
+            if op not in IDEMPOTENT_OPS or attempts > max_retries:
+                raise ServeOverloaded(op, attempts, response)
+            hint = response.get("retry_after_ms")
+            hint_ms = float(hint) if isinstance(hint, (int, float)) else 0.0
+            backoff_ms = base_delay_ms * (2.0 ** (attempts - 1))
+            delay_ms = min(
+                max_delay_ms,
+                max(hint_ms, backoff_ms) * (1.0 + 0.5 * rng.random()),
+            )
+            sleep(delay_ms / 1000.0)
 
     def ping(self) -> bool:
         return self.request("ping").get("status") == "pong"

@@ -21,7 +21,7 @@ they become per-request *defaults* rather than one run's budget:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Dict, Optional
 
 from ..config import BudgetedConfig, OnBudget
 
@@ -52,6 +52,33 @@ class ServeConfig(BudgetedConfig):
     drain_ms:
         How long shutdown waits for in-flight requests to finish
         before cancelling their tokens and unwinding them cooperatively.
+    max_pending:
+        Global bound on requests admitted but not yet dispatched to a
+        worker.  A request arriving past the bound is *shed*: answered
+        immediately with ``{"ok": false, "error": "overloaded",
+        "retry_after_ms": ...}`` instead of queued.
+    tenant_max_pending:
+        Per-tenant queue-depth bound; ``None`` inherits ``max_pending``
+        (i.e. only the global bound applies).
+    tenant_max_inflight:
+        Per-tenant bound on concurrently-running requests; ``None``
+        inherits ``workers`` (no per-tenant throttle).  Combined with
+        weighted round-robin dispatch this keeps one hostile tenant
+        from occupying the whole pool.
+    tenant_weights:
+        Optional ``{tenant: weight}`` map for the round-robin
+        dispatcher; a tenant with weight *w* drains up to *w*
+        consecutive requests per turn.  Unlisted tenants get weight 1.
+    admission_disabled:
+        Bypass admission control entirely and submit straight to the
+        executor's unbounded queue — the pre-admission behaviour.  The
+        ablation switch for the ``BENCH_resil.json`` goodput
+        comparison; not meant for production configs.
+    max_line_bytes:
+        Upper bound on one protocol line.  A connection that sends a
+        longer line gets ``{"ok": false, "error": "request_too_large"}``
+        and stays usable; the oversized line is discarded without ever
+        being buffered whole.
     """
 
     host: str = "127.0.0.1"
@@ -60,6 +87,12 @@ class ServeConfig(BudgetedConfig):
     workers: int = 4
     max_sessions: int = 64
     drain_ms: float = 5000.0
+    max_pending: int = 1024
+    tenant_max_pending: "Optional[int]" = None
+    tenant_max_inflight: "Optional[int]" = None
+    tenant_weights: "Optional[Dict[str, int]]" = None
+    admission_disabled: bool = False
+    max_line_bytes: int = MAX_LINE_BYTES
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -78,3 +111,24 @@ class ServeConfig(BudgetedConfig):
             raise ValueError(f"drain_ms must be >= 0, got {self.drain_ms}")
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_pending < 0:
+            raise ValueError(
+                f"max_pending must be >= 0, got {self.max_pending}"
+            )
+        if self.tenant_max_pending is not None and self.tenant_max_pending < 0:
+            raise ValueError(
+                f"tenant_max_pending must be >= 0, got "
+                f"{self.tenant_max_pending}"
+            )
+        if (
+            self.tenant_max_inflight is not None
+            and self.tenant_max_inflight < 1
+        ):
+            raise ValueError(
+                f"tenant_max_inflight must be >= 1, got "
+                f"{self.tenant_max_inflight}"
+            )
+        if self.max_line_bytes < 1024:
+            raise ValueError(
+                f"max_line_bytes must be >= 1024, got {self.max_line_bytes}"
+            )

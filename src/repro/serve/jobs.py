@@ -28,7 +28,8 @@ Protocol ops
 ``view-query``     certain answers against a view
 ``view-close``     drop a view
 ``session-close``  drop the whole tenant session
-(``cancel``, ``stats``, ``shutdown`` are handled on the event loop.)
+(``cancel``, ``stats``, ``health``, ``metrics``, ``shutdown`` are
+handled on the event loop.)
 """
 
 from __future__ import annotations
@@ -44,6 +45,25 @@ from .session import SessionRegistry, TheorySession, text_key
 #: Request knobs every engine op understands (per-request guard
 #: overrides on top of the server defaults).
 GUARD_PARAM_KEYS = ("wall_ms", "max_rss_mb", "store")
+
+#: Worker-side fault hook (``None`` in production).  The chaos battery
+#: installs one via :func:`set_serve_fault_hook` to make workers slow
+#: (sleep) or stuck (block until cancelled) deterministically; it runs
+#: on the pool thread at the top of every request, receiving
+#: ``(request, token)``.
+_serve_fault_hook = None
+
+
+def set_serve_fault_hook(hook):
+    """Install (or clear, with ``None``) the worker fault hook.
+
+    Returns the previous hook so test fixtures can restore it.  See
+    :mod:`repro.testing.faults` for the context-manager wrappers.
+    """
+    global _serve_fault_hook
+    previous = _serve_fault_hook
+    _serve_fault_hook = hook
+    return previous
 
 
 class RequestError(ReproError):
@@ -76,13 +96,22 @@ def _free(request: Dict[str, Any]) -> Tuple[str, ...]:
     raise RequestError("free must be a list of names or a comma string")
 
 
-def _guard_fields(params: Dict[str, Any], config: ServeConfig, token) -> Dict[str, Any]:
-    """Per-request guard config: request params over server defaults."""
+def _guard_fields(
+    params: Dict[str, Any], config: ServeConfig, token, deadline=None
+) -> Dict[str, Any]:
+    """Per-request guard config: request params over server defaults.
+
+    *deadline*, when set, is the already-ticking queue deadline the
+    admission layer started when the request was admitted; the engine's
+    :class:`~repro.runtime.RuntimeGuard` prefers it over ``wall_ms``,
+    so time spent queued counts against the request's SLA.
+    """
     return {
         "wall_ms": params.get("wall_ms", config.wall_ms),
         "max_rss_mb": params.get("max_rss_mb", config.max_rss_mb),
         "store": params.get("store", config.store),
         "cancel_token": token,
+        "deadline": deadline,
     }
 
 
@@ -389,6 +418,7 @@ def execute_request(
     request: Dict[str, Any],
     config: ServeConfig,
     token,
+    deadline=None,
 ) -> Dict[str, Any]:
     """Run one request to a complete response dict.  Never raises."""
     rid = request.get("id")
@@ -407,6 +437,9 @@ def execute_request(
         return payload
 
     try:
+        hook = _serve_fault_hook
+        if hook is not None:
+            hook(request, token)
         if not isinstance(tenant, str) or not tenant:
             raise RequestError("tenant must be a non-empty string")
         if op == "session-close":
@@ -423,7 +456,7 @@ def execute_request(
             session = registry.get(tenant)
             session.requests += 1
             params = _params(request)
-            guard = _guard_fields(params, config, token)
+            guard = _guard_fields(params, config, token, deadline)
             payload, code = handler(session, request, params, guard)
             payload["exit_code"] = code
     except (ReproError, OSError, ValueError, TypeError, KeyError) as error:

@@ -18,11 +18,25 @@ the connection still has in flight — either way the engine unwinds
 cooperatively at its next checkpoint and the response (if anyone is
 still listening) reports ``stopped_reason: "cancelled"``.
 
+Overload path: engine requests do not go straight to the pool — they
+pass through the :class:`~repro.serve.admission.AdmissionController`
+(bounded global + per-tenant queues, weighted round-robin dispatch;
+see that module's docstring).  An over-limit request is *shed*
+immediately with ``{"ok": false, "error": "overloaded",
+"retry_after_ms": ...}``; an admitted request starts its
+:class:`~repro.runtime.Deadline` at admission, so queue time counts
+against its ``wall_ms`` SLA, and a request whose deadline expires
+before a worker frees up is shed at dispatch with ``stopped_reason:
+"deadline"``.  ``ServeConfig.admission_disabled`` restores the old
+unbounded executor queue — the ablation baseline for
+``BENCH_resil.json``.
+
 Shutdown (the ``shutdown`` op, or SIGTERM/SIGINT via
-:func:`run_server`) stops accepting, waits up to ``config.drain_ms``
-for in-flight requests, then cancels the stragglers' tokens and waits
+:func:`run_server`) stops accepting, sheds every queued request with
+a well-formed draining error, waits up to ``config.drain_ms`` for
+in-flight requests, then cancels the stragglers' tokens and waits
 for them to unwind before closing the pool — the CLI contract is
-SIGTERM → drain → exit 130.
+SIGTERM → drain → exit 130, and it holds mid-overload.
 """
 
 from __future__ import annotations
@@ -30,11 +44,13 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
-from ..payloads import EXIT_ERROR, EXIT_INTERRUPTED, EXIT_OK
-from ..runtime import CancelToken
+from ..payloads import EXIT_ERROR, EXIT_INCOMPLETE, EXIT_INTERRUPTED, EXIT_OK
+from ..runtime import CancelToken, Deadline
+from .admission import AdmissionController, Pending
 from .config import MAX_LINE_BYTES, ServeConfig
 from .jobs import execute_request
 from .session import SessionRegistry
@@ -87,16 +103,85 @@ class _Connection:
                 pass
 
 
+class _LineReader:
+    """A line reader with an explicit length bound and *recovery*.
+
+    ``asyncio.StreamReader.readline`` raises once a line overruns its
+    limit and leaves the stream in an awkward half-consumed state, so
+    the old loop had no choice but to drop the connection.  This reader
+    buffers lines itself: an oversized line is discarded chunk-by-chunk
+    (never held in memory whole) up to its terminating newline and
+    reported as ``None``, and the connection keeps working — the server
+    answers ``request_too_large`` and reads the next line.
+    """
+
+    _CHUNK = 65536
+
+    def __init__(self, reader: asyncio.StreamReader, max_line: int) -> None:
+        self._reader = reader
+        self._max = max_line
+        self._buf = bytearray()
+        self._eof = False
+
+    async def readline(self) -> "Optional[bytes]":
+        """The next line (with newline), ``b""`` at EOF, ``None`` if the
+        line exceeded the bound (the line is consumed and discarded)."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx != -1:
+                line = bytes(self._buf[: idx + 1])
+                del self._buf[: idx + 1]
+                return None if len(line) > self._max else line
+            if self._eof:
+                line = bytes(self._buf)
+                self._buf.clear()
+                return None if len(line) > self._max else line
+            if len(self._buf) > self._max:
+                survived = await self._discard_line()
+                return None if survived else b""
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+    async def _discard_line(self) -> bool:
+        """Drop input up to the next newline; False if EOF hit first."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx != -1:
+                del self._buf[: idx + 1]
+                return True
+            self._buf.clear()
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                self._eof = True
+                return False
+            self._buf.extend(chunk)
+
+
 class ReproServer:
     """One serving instance; see the module docstring."""
 
     def __init__(self, config: "Optional[ServeConfig]" = None, **overrides) -> None:
         self.config = (config or ServeConfig()).with_overrides(**overrides)
         self.registry = SessionRegistry(self.config.max_sessions)
+        self.admission: "Optional[AdmissionController]" = None
+        if not self.config.admission_disabled:
+            self.admission = AdmissionController(
+                workers=self.config.workers,
+                max_pending=self.config.max_pending,
+                tenant_max_pending=self.config.tenant_max_pending,
+                tenant_max_inflight=self.config.tenant_max_inflight,
+                tenant_weights=self.config.tenant_weights,
+            )
         self.exit_code = EXIT_OK
         self.requests = 0
         self.cancelled = 0
         self.rejected = 0
+        self.shed = 0
+        self.oversized = 0
+        self._started = time.monotonic()
         self._server: "Optional[asyncio.AbstractServer]" = None
         self._pool: "Optional[ThreadPoolExecutor]" = None
         self._loop: "Optional[asyncio.AbstractEventLoop]" = None
@@ -113,10 +198,9 @@ class ReproServer:
         """Bind the listener and spin up the worker pool."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix=WORKER_THREAD_PREFIX,
-        )
+        self._started = time.monotonic()
+        # Bind before building the pool: a bind failure (port in use,
+        # bad socket path) must not leave worker threads behind.
         if self.config.path is not None:
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=self.config.path,
@@ -129,6 +213,10 @@ class ReproServer:
             )
             sockname = self._server.sockets[0].getsockname()
             self.host, self.port = sockname[0], sockname[1]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix=WORKER_THREAD_PREFIX,
+        )
 
     async def run(self, ready=None) -> int:
         """start → announce → serve until shutdown → drain.
@@ -161,6 +249,19 @@ class ReproServer:
         self._draining = True
         self._server.close()
         await self._server.wait_closed()
+        if self.admission is not None:
+            # Queued-but-undispatched requests will never run; answer
+            # each with the draining error so no admitted request goes
+            # silent (the chaos battery pins this mid-overload).
+            for entry in self.admission.drain():
+                connection = entry.payload
+                connection.unregister(entry.rid, entry.token)
+                self.rejected += 1
+                await connection.send({
+                    "id": entry.rid, "ok": False, "status": "error",
+                    "error": "server is draining", "tenant": entry.tenant,
+                    "exit_code": EXIT_ERROR,
+                })
         if self._jobs:
             _done, pending = await asyncio.wait(
                 set(self._jobs), timeout=self.config.drain_ms / 1000.0
@@ -182,17 +283,21 @@ class ReproServer:
     async def _on_connection(self, reader, writer) -> None:
         connection = _Connection(writer)
         self._connections.add(connection)
+        lines = _LineReader(reader, self.config.max_line_bytes)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
+                line = await lines.readline()
+                if line is None:
+                    # Oversized line: discarded by the reader; the
+                    # connection stays usable for the next request.
+                    self.oversized += 1
                     await connection.send({
                         "id": None, "ok": False, "status": "error",
-                        "error": "request line too long",
+                        "error": "request_too_large",
+                        "max_line_bytes": self.config.max_line_bytes,
                         "exit_code": EXIT_ERROR,
                     })
-                    break
+                    continue
                 if not line:
                     break
                 if not line.strip():
@@ -230,6 +335,12 @@ class ReproServer:
         if op == "stats":
             await connection.send(self._stats_response(rid))
             return
+        if op == "health":
+            await connection.send(self._health_response(rid))
+            return
+        if op == "metrics":
+            await connection.send(self._metrics_response(rid))
+            return
         if op == "shutdown":
             await connection.send({
                 "id": rid, "ok": True, "command": "shutdown",
@@ -246,18 +357,85 @@ class ReproServer:
             return
         self.requests += 1
         token = CancelToken()
-        connection.register(rid, token)
-        job = asyncio.ensure_future(
-            self._run_job(connection, request, rid, token)
+        entry = Pending(
+            tenant=self._admission_tenant(request),
+            rid=rid,
+            request=request,
+            token=token,
+            deadline=(
+                None if self.admission is None
+                else self._queue_deadline(request)
+            ),
+            payload=connection,
         )
+        if self.admission is None:
+            # Ablation path (admission_disabled): the pre-admission
+            # behaviour — straight into the executor's unbounded queue,
+            # wall budget starting at execution, never at admission.
+            connection.register(rid, token)
+            self._spawn(entry)
+            return
+        reason = self.admission.try_admit(entry)
+        if reason is not None:
+            self.shed += 1
+            await connection.send({
+                "id": rid, "ok": False, "status": "shed",
+                "error": "overloaded", "tenant": entry.tenant,
+                "retry_after_ms": self.admission.retry_after_ms(),
+                "exit_code": EXIT_ERROR,
+            })
+            return
+        connection.register(rid, token)
+        await self._pump()
+
+    def _admission_tenant(self, request: Dict[str, Any]) -> str:
+        tenant = request.get("tenant", "default")
+        # Invalid tenants still fail in the worker with a clear error;
+        # admission just needs a stable queue key for them.
+        return tenant if isinstance(tenant, str) and tenant else "default"
+
+    def _queue_deadline(self, request: Dict[str, Any]) -> "Optional[Deadline]":
+        """The request's SLA deadline, started now (at admission)."""
+        params = request.get("params")
+        wall = params.get("wall_ms") if isinstance(params, dict) else None
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            wall = self.config.wall_ms
+        return None if wall is None else Deadline(wall)
+
+    def _spawn(self, entry: Pending) -> None:
+        job = asyncio.ensure_future(self._run_job(entry))
         self._jobs.add(job)
         job.add_done_callback(self._jobs.discard)
 
-    async def _run_job(self, connection, request, rid, token) -> None:
+    async def _pump(self) -> None:
+        """Dispatch admitted requests while worker slots are free."""
+        if self.admission is None:
+            return
+        run, expired = self.admission.next_dispatch()
+        for entry in expired:
+            # Sat in the queue past its own deadline: shed instead of
+            # burning a worker on a request nobody can answer in time.
+            connection = entry.payload
+            connection.unregister(entry.rid, entry.token)
+            self.shed += 1
+            await connection.send({
+                "id": entry.rid, "ok": False, "status": "shed",
+                "error": "queue_deadline", "tenant": entry.tenant,
+                "stopped_reason": "deadline",
+                "exit_code": EXIT_INCOMPLETE,
+            })
+        for entry in run:
+            self._spawn(entry)
+
+    async def _run_job(self, entry: Pending) -> None:
+        connection = entry.payload
+        rid, token = entry.rid, entry.token
+        started = time.monotonic()
         try:
             response = await self._loop.run_in_executor(
                 self._pool, execute_request,
-                self.registry, request, self.config, token,
+                self.registry, entry.request, self.config, token,
+                entry.deadline,
             )
         except Exception as error:  # defensive: a job must never kill the loop
             response = {
@@ -267,7 +445,12 @@ class ReproServer:
             }
         finally:
             connection.unregister(rid, token)
+            if self.admission is not None:
+                self.admission.complete(
+                    entry.tenant, (time.monotonic() - started) * 1000.0
+                )
         await connection.send(response)
+        await self._pump()
 
     async def _op_cancel(self, connection: _Connection, request) -> None:
         target = request.get("target")
@@ -290,9 +473,53 @@ class ReproServer:
                 "inflight": len(self._jobs),
                 "cancelled": self.cancelled,
                 "rejected": self.rejected,
+                "shed": self.shed,
+                "oversized": self.oversized,
                 "workers": self.config.workers,
                 "sessions": len(self.registry),
             },
+            "registry": self.registry.stats(),
+            "exit_code": EXIT_OK,
+        }
+
+    def _health_response(self, rid) -> Dict[str, Any]:
+        """Cheap liveness probe, answered on the event loop."""
+        pending = 0 if self.admission is None else self.admission.pending_total
+        inflight = (
+            len(self._jobs) if self.admission is None
+            else self.admission.inflight_total
+        )
+        return {
+            "id": rid, "ok": True, "command": "health",
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "counts": {
+                "pending": pending,
+                "inflight": inflight,
+                "workers": self.config.workers,
+                "sessions": len(self.registry),
+            },
+            "exit_code": EXIT_OK,
+        }
+
+    def _metrics_response(self, rid) -> Dict[str, Any]:
+        """Full load-state snapshot: admission queues, sheds, tenants."""
+        return {
+            "id": rid, "ok": True, "command": "metrics", "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "counts": {
+                "requests": self.requests,
+                "inflight": len(self._jobs),
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "oversized": self.oversized,
+                "workers": self.config.workers,
+                "sessions": len(self.registry),
+            },
+            "admission": (
+                None if self.admission is None else self.admission.snapshot()
+            ),
             "registry": self.registry.stats(),
             "exit_code": EXIT_OK,
         }
@@ -306,14 +533,35 @@ def run_server(config: ServeConfig, ready=None) -> int:
     """Run a server on this thread until shutdown; returns the exit code.
 
     Installs loop-level SIGTERM/SIGINT handlers (when the platform
-    allows) implementing the drain-then-exit-130 contract.
+    allows) implementing the drain-then-exit-130 contract.  A bind
+    failure (port in use, bad unix-socket path, missing permission)
+    prints one line of JSON to stderr and returns
+    :data:`~repro.payloads.EXIT_ERROR` instead of unwinding with an
+    asyncio traceback.
     """
     import signal
+    import sys
 
     server = ReproServer(config)
 
     async def _main() -> int:
-        await server.start()
+        try:
+            await server.start()
+        except OSError as error:
+            print(
+                json.dumps({
+                    "ok": False,
+                    "error": "bind_failed",
+                    "detail": str(error),
+                    "host": config.host,
+                    "port": config.port,
+                    "path": config.path,
+                    "exit_code": EXIT_ERROR,
+                }, sort_keys=True),
+                file=sys.stderr,
+                flush=True,
+            )
+            return EXIT_ERROR
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

@@ -3,9 +3,26 @@
 :mod:`repro.testing.faults` — the deterministic fault injector that
 trips any runtime guard (deadline / cancellation / memory) at the K-th
 checkpoint of a named engine, driving the partial-result test battery
-in ``tests/runtime/``.
+in ``tests/runtime/`` — plus the serve-side worker faults
+(:func:`inject_serve_fault`: slow workers, stuck jobs) the chaos
+battery in ``tests/serve/test_chaos.py`` drives overload scenarios
+with.
 """
 
-from .faults import ENGINE_NAMES, FaultInjector, inject_fault
+from .faults import (
+    ENGINE_NAMES,
+    SERVE_FAULT_MODES,
+    FaultInjector,
+    ServeFault,
+    inject_fault,
+    inject_serve_fault,
+)
 
-__all__ = ["ENGINE_NAMES", "FaultInjector", "inject_fault"]
+__all__ = [
+    "ENGINE_NAMES",
+    "FaultInjector",
+    "SERVE_FAULT_MODES",
+    "ServeFault",
+    "inject_fault",
+    "inject_serve_fault",
+]

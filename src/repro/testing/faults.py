@@ -29,8 +29,9 @@ ablation switch must measure the true unguarded path).
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..runtime.guard import (
     GUARD_REASONS,
@@ -133,3 +134,105 @@ def inject_fault(
         yield injector
     finally:
         set_fault_hook(None)
+
+
+# ----------------------------------------------------------------------
+# Serve-side worker faults (the chaos battery's levers)
+# ----------------------------------------------------------------------
+
+#: Valid :class:`ServeFault` modes.
+SERVE_FAULT_MODES = ("slow", "stuck")
+
+
+class ServeFault:
+    """A worker-pool fault: slow down or wedge matching requests.
+
+    Installed as the serve fault hook
+    (:func:`repro.serve.set_serve_fault_hook`), so it runs on the pool
+    thread at the top of :func:`~repro.serve.execute_request` — after
+    dispatch, before any engine work — which is exactly where a
+    slow/wedged worker hurts: it occupies a pool slot while the
+    admission queues back up behind it.
+
+    Modes
+    -----
+    ``slow``:
+        Sleep ``delay_ms`` before letting the request run — a worker
+        that is merely overloaded.
+    ``stuck``:
+        Block until the request's :class:`~repro.runtime.CancelToken`
+        trips (client ``cancel`` op, disconnect, or shutdown drain),
+        bounded by ``timeout_s`` as a test-hang safety net — a worker
+        wedged on something only cancellation can unwind.
+
+    ``ops`` / ``tenants`` restrict which requests are hit (``None`` =
+    all); ``max_hits`` bounds how many requests are hit in total, so a
+    battery can wedge exactly K workers and keep the rest honest.
+    """
+
+    __slots__ = ("mode", "delay_ms", "ops", "tenants", "max_hits",
+                 "timeout_s", "hits")
+
+    def __init__(
+        self,
+        mode: str,
+        delay_ms: float = 50.0,
+        ops: "Optional[tuple]" = None,
+        tenants: "Optional[tuple]" = None,
+        max_hits: "Optional[int]" = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        if mode not in SERVE_FAULT_MODES:
+            raise ValueError(
+                f"unknown serve fault mode {mode!r}; expected one of "
+                f"{SERVE_FAULT_MODES}"
+            )
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms}")
+        self.mode = mode
+        self.delay_ms = delay_ms
+        self.ops = None if ops is None else tuple(ops)
+        self.tenants = None if tenants is None else tuple(tenants)
+        self.max_hits = max_hits
+        self.timeout_s = timeout_s
+        self.hits = 0
+
+    def __call__(self, request: "Dict[str, Any]", token: Any) -> None:
+        if self.ops is not None and request.get("op") not in self.ops:
+            return
+        if (
+            self.tenants is not None
+            and request.get("tenant", "default") not in self.tenants
+        ):
+            return
+        if self.max_hits is not None and self.hits >= self.max_hits:
+            return
+        self.hits += 1
+        if self.mode == "slow":
+            time.sleep(self.delay_ms / 1000.0)
+        else:  # stuck: only cancellation (or the safety net) frees us
+            token.wait(self.timeout_s)
+
+    def __repr__(self) -> str:
+        return f"ServeFault({self.mode!r}, hits={self.hits})"
+
+
+@contextmanager
+def inject_serve_fault(mode: str, **kwargs: Any) -> "Iterator[ServeFault]":
+    """Install a :class:`ServeFault` for the extent of the block.
+
+    The hook is process-wide (one per process, like
+    :func:`inject_fault`); nesting raises.  Arguments beyond *mode* are
+    forwarded to :class:`ServeFault`.
+    """
+    from ..serve.jobs import set_serve_fault_hook
+
+    fault = ServeFault(mode, **kwargs)
+    previous = set_serve_fault_hook(fault)
+    if previous is not None:
+        set_serve_fault_hook(previous)
+        raise RuntimeError("a serve fault is already active (no nesting)")
+    try:
+        yield fault
+    finally:
+        set_serve_fault_hook(None)

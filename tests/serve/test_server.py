@@ -284,3 +284,86 @@ class TestLifecycle:
                 response = client.request("chase", theory=LINEAR,
                                           database=DB, params={"depth": 2})
                 assert response["command"] == "chase"
+
+
+class TestRequestLineBound:
+    """Satellite: an oversized request line gets a well-formed error
+    and the connection *survives* (the old loop dropped it)."""
+
+    def test_oversized_line_answered_and_connection_survives(self):
+        with ServerThread(workers=1, max_line_bytes=4096) as handle:
+            with handle.client() as client:
+                client.send_raw(
+                    b'{"op": "ping", "id": 1, "junk": "'
+                    + b"x" * 8192 + b'"}'
+                )
+                response = client.recv()
+                assert response["ok"] is False
+                assert response["error"] == "request_too_large"
+                assert response["max_line_bytes"] == 4096
+                assert response["id"] is None
+                # Same connection, next request: served normally.
+                assert client.request("ping")["status"] == "pong"
+                assert handle.server.oversized == 1
+
+    def test_line_under_the_bound_passes(self):
+        with ServerThread(workers=1, max_line_bytes=4096) as handle:
+            with handle.client() as client:
+                response = client.request("ping", pad="y" * 2000)
+                assert response["status"] == "pong"
+
+    def test_several_oversized_lines_in_a_row(self):
+        with ServerThread(workers=1, max_line_bytes=2048) as handle:
+            with handle.client() as client:
+                for _ in range(3):
+                    client.send_raw(b"z" * 5000)
+                    assert client.recv()["error"] == "request_too_large"
+                assert client.ping()
+
+
+class TestBindFailure:
+    """Satellite: bind failures exit with one-line JSON on stderr and
+    a documented nonzero code, not an asyncio traceback."""
+
+    def test_port_in_use(self, capsys):
+        from repro.payloads import EXIT_ERROR
+        from repro.serve import run_server
+
+        with ServerThread(workers=1) as handle:
+            config = ServeConfig(
+                host="127.0.0.1", port=handle.port, workers=1
+            )
+            code = run_server(config)
+        assert code == EXIT_ERROR
+        lines = [
+            line for line in capsys.readouterr().err.splitlines() if line
+        ]
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["ok"] is False
+        assert payload["error"] == "bind_failed"
+        assert payload["port"] == config.port
+        assert payload["exit_code"] == EXIT_ERROR
+        assert "Errno" in payload["detail"] or payload["detail"]
+
+    def test_bad_unix_socket_path(self, capsys, tmp_path):
+        from repro.payloads import EXIT_ERROR
+        from repro.serve import run_server
+
+        bad = str(tmp_path / "missing-dir" / "repro.sock")
+        code = run_server(ServeConfig(path=bad, workers=1))
+        assert code == EXIT_ERROR
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert payload["error"] == "bind_failed"
+        assert payload["path"] == bad
+
+    def test_cli_serve_bind_failure_exit_code(self, capsys):
+        from repro.payloads import EXIT_ERROR
+
+        with ServerThread(workers=1) as handle:
+            code = cli_main([
+                "serve", "--port", str(handle.port), "--workers", "1",
+            ])
+        assert code == EXIT_ERROR
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert payload["error"] == "bind_failed"
